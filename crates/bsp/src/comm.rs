@@ -1,0 +1,238 @@
+//! Ranks, point-to-point messaging, and barriers.
+
+use std::sync::Arc;
+
+use bytes::Bytes;
+use crossbeam_channel::{unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+
+use ray_common::config::TransportConfig;
+use ray_common::NodeId;
+use ray_transport::Fabric;
+
+/// A message envelope in a rank's inbox.
+struct Envelope {
+    from: usize,
+    tag: u64,
+    payload: Bytes,
+}
+
+struct RankInbox {
+    tx: Sender<Envelope>,
+    rx: Receiver<Envelope>,
+    /// Messages received but not yet claimed (recv by (from, tag)).
+    stash: Mutex<Vec<Envelope>>,
+}
+
+struct WorldInner {
+    fabric: Fabric,
+    inboxes: Vec<RankInbox>,
+    barrier: std::sync::Barrier,
+}
+
+/// A bulk-synchronous world of `n` symmetric ranks.
+pub struct BspWorld {
+    inner: Arc<WorldInner>,
+}
+
+impl BspWorld {
+    /// Creates a world of `n` ranks over a fresh fabric (one rank per
+    /// simulated node).
+    pub fn new(n: usize, transport: &TransportConfig) -> BspWorld {
+        assert!(n > 0, "world must have at least one rank");
+        let fabric = Fabric::new(n, transport);
+        let inboxes = (0..n)
+            .map(|_| {
+                let (tx, rx) = unbounded();
+                RankInbox { tx, rx, stash: Mutex::new(Vec::new()) }
+            })
+            .collect();
+        BspWorld {
+            inner: Arc::new(WorldInner { fabric, inboxes, barrier: std::sync::Barrier::new(n) }),
+        }
+    }
+
+    /// Number of ranks.
+    pub fn size(&self) -> usize {
+        self.inner.inboxes.len()
+    }
+
+    /// The underlying fabric (failure injection in tests).
+    pub fn fabric(&self) -> &Fabric {
+        &self.inner.fabric
+    }
+
+    /// Runs `f` on every rank concurrently (SPMD), returning each rank's
+    /// result in rank order.
+    ///
+    /// # Panics
+    ///
+    /// Propagates the first rank panic (MPI semantics: one failed process
+    /// aborts the job).
+    pub fn run<R, F>(&self, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(Rank) -> R + Send + Sync,
+    {
+        let n = self.size();
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..n)
+                .map(|r| {
+                    let rank = Rank { inner: self.inner.clone(), rank: r };
+                    let f = &f;
+                    s.spawn(move || f(rank))
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("rank panicked; BSP job aborts"))
+                .collect()
+        })
+    }
+}
+
+/// One rank's view of the world.
+pub struct Rank {
+    inner: Arc<WorldInner>,
+    rank: usize,
+}
+
+impl Rank {
+    /// This rank's index.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// World size.
+    pub fn size(&self) -> usize {
+        self.inner.inboxes.len()
+    }
+
+    /// Blocking point-to-point send over a single connection (the
+    /// OpenMPI-style single-threaded transfer the paper contrasts with
+    /// Ray's striping, Fig. 12a).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the destination node is dead — MPI aborts on failure.
+    pub fn send(&self, to: usize, tag: u64, payload: Bytes) {
+        self.inner
+            .fabric
+            .transfer(NodeId(self.rank as u32), NodeId(to as u32), payload.len(), 1)
+            .expect("MPI send to dead rank aborts the job");
+        let env = Envelope { from: self.rank, tag, payload };
+        self.inner.inboxes[to].tx.send(env).expect("world torn down mid-send");
+    }
+
+    /// Blocking receive of the next message from `from` with `tag`.
+    pub fn recv(&self, from: usize, tag: u64) -> Bytes {
+        let inbox = &self.inner.inboxes[self.rank];
+        // Check the stash first (messages that arrived out of order).
+        {
+            let mut stash = inbox.stash.lock();
+            if let Some(pos) = stash.iter().position(|e| e.from == from && e.tag == tag) {
+                return stash.remove(pos).payload;
+            }
+        }
+        loop {
+            let env = inbox.rx.recv().expect("world torn down mid-recv");
+            if env.from == from && env.tag == tag {
+                return env.payload;
+            }
+            inbox.stash.lock().push(env);
+        }
+    }
+
+    /// Global barrier: the defining BSP primitive. Every rank waits for
+    /// the slowest (Table 4's "3n tasks in 3 rounds, with a global barrier
+    /// between rounds").
+    pub fn barrier(&self) {
+        self.inner.barrier.wait();
+    }
+
+    /// In-place ring allreduce (sum) over `data`; see [`crate::allreduce`].
+    pub fn allreduce_sum(&self, data: &mut [f64]) {
+        crate::allreduce::ring_allreduce_sum(self, data);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fast_transport() -> TransportConfig {
+        TransportConfig {
+            latency: std::time::Duration::from_micros(1),
+            ..TransportConfig::default()
+        }
+    }
+
+    #[test]
+    fn sendrecv_pairs() {
+        let world = BspWorld::new(2, &fast_transport());
+        let out = world.run(|rank| {
+            if rank.rank() == 0 {
+                rank.send(1, 7, Bytes::from_static(b"ping"));
+                rank.recv(1, 8)
+            } else {
+                let m = rank.recv(0, 7);
+                rank.send(0, 8, Bytes::from_static(b"pong"));
+                m
+            }
+        });
+        assert_eq!(out[0], Bytes::from_static(b"pong"));
+        assert_eq!(out[1], Bytes::from_static(b"ping"));
+    }
+
+    #[test]
+    fn tags_demultiplex_out_of_order_arrivals() {
+        let world = BspWorld::new(2, &fast_transport());
+        let out = world.run(|rank| {
+            if rank.rank() == 0 {
+                rank.send(1, 1, Bytes::from_static(b"first"));
+                rank.send(1, 2, Bytes::from_static(b"second"));
+                Bytes::new()
+            } else {
+                // Claim tag 2 before tag 1: the stash handles reordering.
+                let second = rank.recv(0, 2);
+                let first = rank.recv(0, 1);
+                assert_eq!(first, Bytes::from_static(b"first"));
+                second
+            }
+        });
+        assert_eq!(out[1], Bytes::from_static(b"second"));
+    }
+
+    #[test]
+    fn barrier_synchronizes_rounds() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let world = BspWorld::new(4, &fast_transport());
+        let phase_counter = AtomicUsize::new(0);
+        world.run(|rank| {
+            // Everyone increments, then the barrier, then everyone must see
+            // the full count.
+            phase_counter.fetch_add(1, Ordering::SeqCst);
+            rank.barrier();
+            assert_eq!(phase_counter.load(Ordering::SeqCst), 4);
+        });
+    }
+
+    #[test]
+    fn run_returns_results_in_rank_order() {
+        let world = BspWorld::new(5, &fast_transport());
+        let out = world.run(|rank| rank.rank() * 10);
+        assert_eq!(out, vec![0, 10, 20, 30, 40]);
+    }
+
+    #[test]
+    #[should_panic(expected = "BSP job aborts")]
+    fn dead_rank_aborts_job() {
+        let world = BspWorld::new(2, &fast_transport());
+        world.fabric().kill_node(NodeId(1));
+        world.run(|rank| {
+            if rank.rank() == 0 {
+                rank.send(1, 0, Bytes::from_static(b"x"));
+            }
+        });
+    }
+}

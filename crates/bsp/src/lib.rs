@@ -1,0 +1,37 @@
+//! `ray-bsp`: the MPI/BSP baseline substrate.
+//!
+//! The paper's evaluation repeatedly contrasts Ray against bulk-synchronous
+//! / MPI implementations: OpenMPI allreduce (Fig. 12a), an "MPI, bulk
+//! synchronous" simulation driver with global barriers between rounds
+//! (Table 4), and a reference MPI PPO (Fig. 14b). This crate implements
+//! that baseline world with the properties the paper calls out:
+//!
+//! - **symmetric ranks**: every rank runs the same code;
+//! - **global barriers**: bulk-synchronous rounds wait for the slowest
+//!   rank;
+//! - **single-threaded transfers**: each point-to-point message moves over
+//!   *one* connection of the shared [`ray_transport::Fabric`], mirroring
+//!   "OpenMPI sequentially sends and receives data on a single thread";
+//! - **no fault tolerance**: a dead node aborts the job (send/recv
+//!   panics), the property behind the paper's spot-instance cost analysis
+//!   (§5.3.2).
+//!
+//! # Examples
+//!
+//! ```
+//! use ray_bsp::BspWorld;
+//! use ray_common::config::TransportConfig;
+//!
+//! let world = BspWorld::new(4, &TransportConfig::default());
+//! let sums = world.run(|rank| {
+//!     let mut x = vec![rank.rank() as f64; 8];
+//!     rank.allreduce_sum(&mut x);
+//!     x[0]
+//! });
+//! assert!(sums.iter().all(|&s| s == 0.0 + 1.0 + 2.0 + 3.0));
+//! ```
+
+pub mod allreduce;
+pub mod comm;
+
+pub use comm::{BspWorld, Rank};

@@ -1,0 +1,53 @@
+//! Codec error type, bridging serde's error traits to [`ray_common::RayError`].
+
+use std::fmt;
+
+use ray_common::RayError;
+
+/// Error produced while encoding or decoding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CodecError(pub String);
+
+impl CodecError {
+    /// Creates an error with the given message.
+    pub fn msg(m: impl Into<String>) -> Self {
+        CodecError(m.into())
+    }
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+impl serde::ser::Error for CodecError {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        CodecError(msg.to_string())
+    }
+}
+
+impl serde::de::Error for CodecError {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        CodecError(msg.to_string())
+    }
+}
+
+impl From<CodecError> for RayError {
+    fn from(e: CodecError) -> Self {
+        RayError::Codec(e.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn converts_to_ray_error() {
+        let e: RayError = CodecError::msg("bad byte").into();
+        assert_eq!(e, RayError::Codec("bad byte".into()));
+    }
+}

@@ -1,0 +1,289 @@
+//! Flat numeric tensors with bulk-copy serialization.
+//!
+//! Large objects in Ray (model weights, gradients, batched observations) are
+//! flat numeric buffers, and their movement cost is dominated by `memcpy`
+//! (paper Fig. 9: "For larger objects, memcpy dominates object creation
+//! time"). These tensor types reproduce that profile: the payload is copied
+//! in bulk rather than element-by-element through serde.
+//!
+//! Wire layout: `magic (4) | dtype (1) | ndim (u32) | shape (u64 × ndim) |
+//! payload (elem_size × product(shape))`, all little-endian.
+
+use bytes::Bytes;
+
+use crate::error::CodecError;
+
+const MAGIC: [u8; 4] = *b"RTNS";
+
+const DTYPE_F64: u8 = 1;
+const DTYPE_F32: u8 = 2;
+
+macro_rules! tensor_impl {
+    ($(#[$meta:meta])* $name:ident, $elem:ty, $dtype:expr) => {
+        $(#[$meta])*
+        #[derive(Debug, Clone, PartialEq)]
+        pub struct $name {
+            shape: Vec<usize>,
+            data: Vec<$elem>,
+        }
+
+        impl $name {
+            /// Creates a tensor from a shape and matching flat data.
+            ///
+            /// # Examples
+            ///
+            /// ```
+            /// use ray_codec::tensor::TensorF64;
+            /// let t = TensorF64::from_shape(vec![2, 3], vec![0.0; 6]).unwrap();
+            /// assert_eq!(t.len(), 6);
+            /// ```
+            pub fn from_shape(shape: Vec<usize>, data: Vec<$elem>) -> Result<Self, CodecError> {
+                let expect: usize = shape.iter().product();
+                if expect != data.len() {
+                    return Err(CodecError::msg(format!(
+                        "shape {shape:?} implies {expect} elements, got {}",
+                        data.len()
+                    )));
+                }
+                Ok(Self { shape, data })
+            }
+
+            /// Creates a rank-1 tensor from a vector.
+            pub fn from_vec(data: Vec<$elem>) -> Self {
+                Self { shape: vec![data.len()], data }
+            }
+
+            /// Creates a zero-filled tensor of the given shape.
+            pub fn zeros(shape: Vec<usize>) -> Self {
+                let n: usize = shape.iter().product();
+                Self { shape, data: vec![0.0; n] }
+            }
+
+            /// The tensor's shape.
+            pub fn shape(&self) -> &[usize] {
+                &self.shape
+            }
+
+            /// Total element count.
+            pub fn len(&self) -> usize {
+                self.data.len()
+            }
+
+            /// Whether the tensor has zero elements.
+            pub fn is_empty(&self) -> bool {
+                self.data.is_empty()
+            }
+
+            /// Flat read access to the elements.
+            pub fn data(&self) -> &[$elem] {
+                &self.data
+            }
+
+            /// Flat mutable access to the elements.
+            pub fn data_mut(&mut self) -> &mut [$elem] {
+                &mut self.data
+            }
+
+            /// Consumes the tensor, returning its flat data.
+            pub fn into_vec(self) -> Vec<$elem> {
+                self.data
+            }
+
+            /// Serialized size in bytes.
+            pub fn encoded_len(&self) -> usize {
+                4 + 1 + 4 + 8 * self.shape.len()
+                    + self.data.len() * std::mem::size_of::<$elem>()
+            }
+
+            /// Encodes the tensor with a bulk payload copy.
+            pub fn to_bytes(&self) -> Bytes {
+                let mut out = Vec::with_capacity(self.encoded_len());
+                out.extend_from_slice(&MAGIC);
+                out.push($dtype);
+                out.extend_from_slice(&(self.shape.len() as u32).to_le_bytes());
+                for &d in &self.shape {
+                    out.extend_from_slice(&(d as u64).to_le_bytes());
+                }
+                #[cfg(target_endian = "little")]
+                {
+                    // SAFETY: `$elem` is a plain IEEE-754 float with no
+                    // padding; viewing its storage as bytes is always valid,
+                    // and `u8` has alignment 1. The length is the exact byte
+                    // size of the slice. On little-endian hosts the byte
+                    // order matches the wire format.
+                    let raw: &[u8] = unsafe {
+                        std::slice::from_raw_parts(
+                            self.data.as_ptr() as *const u8,
+                            self.data.len() * std::mem::size_of::<$elem>(),
+                        )
+                    };
+                    out.extend_from_slice(raw);
+                }
+                #[cfg(not(target_endian = "little"))]
+                {
+                    for &v in &self.data {
+                        out.extend_from_slice(&v.to_le_bytes());
+                    }
+                }
+                Bytes::from(out)
+            }
+
+            /// Decodes a tensor previously produced by [`Self::to_bytes`].
+            pub fn from_bytes(bytes: &[u8]) -> Result<Self, CodecError> {
+                const ELEM: usize = std::mem::size_of::<$elem>();
+                if bytes.len() < 9 {
+                    return Err(CodecError::msg("tensor buffer too short"));
+                }
+                if bytes[..4] != MAGIC {
+                    return Err(CodecError::msg("bad tensor magic"));
+                }
+                if bytes[4] != $dtype {
+                    return Err(CodecError::msg(format!(
+                        "dtype mismatch: wire {} expected {}",
+                        bytes[4], $dtype
+                    )));
+                }
+                let ndim =
+                    u32::from_le_bytes(bytes[5..9].try_into().expect("len checked")) as usize;
+                let header = 9 + 8 * ndim;
+                if bytes.len() < header {
+                    return Err(CodecError::msg("tensor shape truncated"));
+                }
+                let mut shape = Vec::with_capacity(ndim);
+                for i in 0..ndim {
+                    let off = 9 + 8 * i;
+                    shape.push(u64::from_le_bytes(
+                        bytes[off..off + 8].try_into().expect("len checked"),
+                    ) as usize);
+                }
+                let n: usize = shape.iter().product();
+                let payload = &bytes[header..];
+                if payload.len() != n * ELEM {
+                    return Err(CodecError::msg(format!(
+                        "tensor payload {} bytes, expected {}",
+                        payload.len(),
+                        n * ELEM
+                    )));
+                }
+                let mut data: Vec<$elem> = Vec::with_capacity(n);
+                #[cfg(target_endian = "little")]
+                {
+                    // SAFETY: `data` was allocated with capacity for `n`
+                    // elements (`n * ELEM` bytes). The source slice holds
+                    // exactly that many bytes, every bit pattern is a valid
+                    // float, and source/destination do not overlap. After
+                    // the copy all `n` elements are initialized, so
+                    // `set_len(n)` is sound.
+                    unsafe {
+                        std::ptr::copy_nonoverlapping(
+                            payload.as_ptr(),
+                            data.as_mut_ptr() as *mut u8,
+                            n * ELEM,
+                        );
+                        data.set_len(n);
+                    }
+                }
+                #[cfg(not(target_endian = "little"))]
+                {
+                    for chunk in payload.chunks_exact(ELEM) {
+                        data.push(<$elem>::from_le_bytes(
+                            chunk.try_into().expect("chunks_exact"),
+                        ));
+                    }
+                }
+                Ok(Self { shape, data })
+            }
+        }
+    };
+}
+
+tensor_impl!(
+    /// A dense `f64` tensor with bulk-copy (de)serialization.
+    TensorF64,
+    f64,
+    DTYPE_F64
+);
+tensor_impl!(
+    /// A dense `f32` tensor with bulk-copy (de)serialization.
+    TensorF32,
+    f32,
+    DTYPE_F32
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn f64_round_trip() {
+        let t = TensorF64::from_shape(vec![2, 3], vec![1.0, -2.0, 3.5, 0.0, f64::MAX, 1e-300])
+            .unwrap();
+        let back = TensorF64::from_bytes(&t.to_bytes()).unwrap();
+        assert_eq!(t, back);
+    }
+
+    #[test]
+    fn f32_round_trip() {
+        let t = TensorF32::from_vec((0..1000).map(|i| i as f32 * 0.5).collect());
+        let back = TensorF32::from_bytes(&t.to_bytes()).unwrap();
+        assert_eq!(t, back);
+    }
+
+    #[test]
+    fn empty_tensor_round_trip() {
+        let t = TensorF64::from_vec(vec![]);
+        let back = TensorF64::from_bytes(&t.to_bytes()).unwrap();
+        assert!(back.is_empty());
+    }
+
+    #[test]
+    fn shape_mismatch_rejected() {
+        assert!(TensorF64::from_shape(vec![2, 2], vec![0.0; 3]).is_err());
+    }
+
+    #[test]
+    fn dtype_mismatch_rejected() {
+        let t = TensorF32::from_vec(vec![1.0]);
+        assert!(TensorF64::from_bytes(&t.to_bytes()).is_err());
+    }
+
+    #[test]
+    fn corrupt_magic_rejected() {
+        let t = TensorF64::from_vec(vec![1.0]);
+        let mut b = t.to_bytes().to_vec();
+        b[0] = b'X';
+        assert!(TensorF64::from_bytes(&b).is_err());
+    }
+
+    #[test]
+    fn truncated_payload_rejected() {
+        let t = TensorF64::from_vec(vec![1.0, 2.0]);
+        let b = t.to_bytes();
+        assert!(TensorF64::from_bytes(&b[..b.len() - 1]).is_err());
+    }
+
+    #[test]
+    fn unaligned_input_decodes() {
+        // Prepend one byte so the payload is misaligned relative to f64.
+        let t = TensorF64::from_vec(vec![1.25, 2.5, 3.75]);
+        let mut buf = vec![0u8];
+        buf.extend_from_slice(&t.to_bytes());
+        let back = TensorF64::from_bytes(&buf[1..]).unwrap();
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn nan_payload_round_trips_bitwise() {
+        let t = TensorF64::from_vec(vec![f64::NAN]);
+        let back = TensorF64::from_bytes(&t.to_bytes()).unwrap();
+        assert!(back.data()[0].is_nan());
+    }
+
+    #[test]
+    fn zeros_has_right_shape() {
+        let t = TensorF32::zeros(vec![4, 5]);
+        assert_eq!(t.len(), 20);
+        assert_eq!(t.shape(), &[4, 5]);
+        assert!(t.data().iter().all(|&x| x == 0.0));
+    }
+}

@@ -1,0 +1,394 @@
+//! Cluster configuration.
+//!
+//! A [`RayConfig`] describes one simulated cluster: its topology (nodes,
+//! workers, resources), the transport model standing in for the paper's
+//! 25Gbps AWS network, the GCS layout (shards, chain length, flushing), and
+//! the scheduling policy. Benchmarks reproduce the paper's figures by
+//! sweeping these knobs.
+
+use std::time::Duration;
+
+use serde::{Deserialize, Serialize};
+
+use crate::resources::Resources;
+
+/// Which placement policy the cluster runs.
+///
+/// The paper's contribution is [`BottomUp`](SchedulerPolicy::BottomUp); the
+/// others are the baselines/ablations its evaluation contrasts against.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SchedulerPolicy {
+    /// Paper §4.2.2: schedule locally unless overloaded or infeasible, then
+    /// spill to a global scheduler that minimizes estimated waiting time.
+    BottomUp,
+    /// Every task goes through the global scheduler (Spark/CIEL-style
+    /// centralized scheduling baseline).
+    Centralized,
+    /// Bottom-up forwarding, but the global scheduler ignores input
+    /// locations when placing (Fig. 8a "unaware" baseline).
+    LocalityUnaware,
+    /// Spilled tasks are placed on a uniformly random feasible node.
+    Random,
+}
+
+/// Transport (simulated network) parameters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TransportConfig {
+    /// One-way message latency between distinct nodes.
+    pub latency: Duration,
+    /// Per-connection bandwidth in bytes/second for inter-node transfers.
+    pub bandwidth_bytes_per_sec: u64,
+    /// Number of parallel connections a large transfer is striped across
+    /// (paper §4.2.4: "we stripe the object across multiple TCP
+    /// connections"). `1` reproduces the "Ray*" single-threaded ablation.
+    pub connections_per_transfer: usize,
+    /// Chunk size for striping.
+    pub chunk_bytes: usize,
+}
+
+impl Default for TransportConfig {
+    fn default() -> Self {
+        TransportConfig {
+            // Intra-datacenter-ish defaults scaled for an in-process cluster.
+            latency: Duration::from_micros(50),
+            // Stands in for the paper's 25Gbps links; per-connection share.
+            bandwidth_bytes_per_sec: 2 * 1024 * 1024 * 1024,
+            connections_per_transfer: 8,
+            chunk_bytes: 512 * 1024,
+        }
+    }
+}
+
+/// Global Control Store parameters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GcsConfig {
+    /// Number of shards the tables are hash-partitioned across.
+    pub num_shards: usize,
+    /// Replicas per shard chain (1 disables replication).
+    pub chain_length: usize,
+    /// Whether the flusher thread moves cold lineage entries to disk,
+    /// bounding GCS memory (paper Fig. 10b).
+    pub flush_enabled: bool,
+    /// Entry-count high-water mark per shard above which flushing kicks in.
+    pub flush_threshold_entries: usize,
+    /// How often the flusher scans shards.
+    pub flush_interval: Duration,
+    /// Simulated per-operation processing delay inside a replica (models
+    /// Redis command latency; zero for microbenchmarks).
+    pub op_delay: Duration,
+}
+
+impl Default for GcsConfig {
+    fn default() -> Self {
+        GcsConfig {
+            num_shards: 4,
+            chain_length: 2,
+            flush_enabled: false,
+            flush_threshold_entries: 100_000,
+            flush_interval: Duration::from_millis(50),
+            op_delay: Duration::ZERO,
+        }
+    }
+}
+
+/// Scheduler parameters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SchedulerConfig {
+    /// Placement policy.
+    pub policy: SchedulerPolicy,
+    /// Local queue length above which a local scheduler forwards new tasks
+    /// to the global scheduler (paper §4.2.2 "predefined threshold").
+    pub spillover_threshold: usize,
+    /// Number of global scheduler replicas.
+    pub global_replicas: usize,
+    /// Interval at which local schedulers send load/resource heartbeats.
+    pub heartbeat_interval: Duration,
+    /// Artificial latency added to every global scheduling decision
+    /// (Fig. 12b ablation).
+    pub added_decision_delay: Duration,
+    /// EWMA smoothing factor for task-duration and bandwidth estimates.
+    pub ewma_alpha: f64,
+}
+
+impl Default for SchedulerConfig {
+    fn default() -> Self {
+        SchedulerConfig {
+            policy: SchedulerPolicy::BottomUp,
+            spillover_threshold: 32,
+            global_replicas: 1,
+            heartbeat_interval: Duration::from_millis(10),
+            added_decision_delay: Duration::ZERO,
+            ewma_alpha: 0.2,
+        }
+    }
+}
+
+/// Object store parameters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ObjectStoreConfig {
+    /// In-memory capacity per node, in bytes; LRU-evicted to spill beyond it.
+    pub capacity_bytes: usize,
+    /// Whether evicted objects are spilled (recoverable) or dropped
+    /// (recoverable only via lineage).
+    pub spill_enabled: bool,
+}
+
+impl Default for ObjectStoreConfig {
+    fn default() -> Self {
+        ObjectStoreConfig { capacity_bytes: 512 * 1024 * 1024, spill_enabled: true }
+    }
+}
+
+/// Fault-tolerance parameters for the core runtime.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultConfig {
+    /// Whether lineage is recorded and reconstruction attempted at all.
+    pub lineage_enabled: bool,
+    /// Max times one object reconstruction is retried before reporting loss.
+    pub max_reconstruction_attempts: usize,
+    /// Checkpoint an actor every N method calls (`None` = never), bounding
+    /// replay on failure (paper Fig. 11b).
+    pub actor_checkpoint_interval: Option<u64>,
+}
+
+impl Default for FaultConfig {
+    fn default() -> Self {
+        FaultConfig {
+            lineage_enabled: true,
+            max_reconstruction_attempts: 3,
+            actor_checkpoint_interval: None,
+        }
+    }
+}
+
+/// Top-level configuration for one simulated cluster.
+///
+/// # Examples
+///
+/// ```
+/// use ray_common::RayConfig;
+/// let cfg = RayConfig::builder().nodes(4).workers_per_node(2).build();
+/// assert_eq!(cfg.num_nodes, 4);
+/// assert_eq!(cfg.node_resources.cpu(), 2.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RayConfig {
+    /// Number of simulated nodes.
+    pub num_nodes: usize,
+    /// Worker processes per node (each executes one task at a time).
+    pub workers_per_node: usize,
+    /// Resource capacity advertised by each node.
+    pub node_resources: Resources,
+    /// Transport model.
+    pub transport: TransportConfig,
+    /// GCS layout.
+    pub gcs: GcsConfig,
+    /// Scheduler behaviour.
+    pub scheduler: SchedulerConfig,
+    /// Per-node object store.
+    pub object_store: ObjectStoreConfig,
+    /// Fault-tolerance behaviour.
+    pub fault: FaultConfig,
+    /// Seed for deterministic components (workload generators, policies).
+    pub seed: u64,
+}
+
+impl Default for RayConfig {
+    fn default() -> Self {
+        RayConfig::builder().build()
+    }
+}
+
+impl RayConfig {
+    /// Starts a builder with laptop-scale defaults (2 nodes × 2 workers).
+    pub fn builder() -> RayConfigBuilder {
+        RayConfigBuilder::default()
+    }
+
+    /// Total worker count across the cluster.
+    pub fn total_workers(&self) -> usize {
+        self.num_nodes * self.workers_per_node
+    }
+
+    /// Validates cross-field invariants, returning a description of the
+    /// first violation.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.num_nodes == 0 {
+            return Err("num_nodes must be >= 1".into());
+        }
+        if self.workers_per_node == 0 {
+            return Err("workers_per_node must be >= 1".into());
+        }
+        if self.gcs.num_shards == 0 {
+            return Err("gcs.num_shards must be >= 1".into());
+        }
+        if self.gcs.chain_length == 0 {
+            return Err("gcs.chain_length must be >= 1".into());
+        }
+        if self.scheduler.global_replicas == 0 {
+            return Err("scheduler.global_replicas must be >= 1".into());
+        }
+        if !(self.scheduler.ewma_alpha > 0.0 && self.scheduler.ewma_alpha <= 1.0) {
+            return Err("scheduler.ewma_alpha must be in (0, 1]".into());
+        }
+        if self.transport.connections_per_transfer == 0 {
+            return Err("transport.connections_per_transfer must be >= 1".into());
+        }
+        if self.transport.chunk_bytes == 0 {
+            return Err("transport.chunk_bytes must be >= 1".into());
+        }
+        Ok(())
+    }
+}
+
+/// Builder for [`RayConfig`].
+#[derive(Debug, Clone)]
+pub struct RayConfigBuilder {
+    cfg: RayConfig,
+    explicit_resources: bool,
+}
+
+impl Default for RayConfigBuilder {
+    fn default() -> Self {
+        RayConfigBuilder {
+            cfg: RayConfig {
+                num_nodes: 2,
+                workers_per_node: 2,
+                node_resources: Resources::cpus(2.0),
+                transport: TransportConfig::default(),
+                gcs: GcsConfig::default(),
+                scheduler: SchedulerConfig::default(),
+                object_store: ObjectStoreConfig::default(),
+                fault: FaultConfig::default(),
+                seed: 0,
+            },
+            explicit_resources: false,
+        }
+    }
+}
+
+impl RayConfigBuilder {
+    /// Sets the node count.
+    pub fn nodes(mut self, n: usize) -> Self {
+        self.cfg.num_nodes = n;
+        self
+    }
+
+    /// Sets workers per node. Unless resources were set explicitly, node CPU
+    /// capacity tracks the worker count.
+    pub fn workers_per_node(mut self, n: usize) -> Self {
+        self.cfg.workers_per_node = n;
+        if !self.explicit_resources {
+            let gpus = self.cfg.node_resources.gpu();
+            self.cfg.node_resources = Resources::new(n as f64, gpus);
+        }
+        self
+    }
+
+    /// Sets each node's advertised resource capacity explicitly.
+    pub fn node_resources(mut self, r: Resources) -> Self {
+        self.cfg.node_resources = r;
+        self.explicit_resources = true;
+        self
+    }
+
+    /// Sets the transport model.
+    pub fn transport(mut self, t: TransportConfig) -> Self {
+        self.cfg.transport = t;
+        self
+    }
+
+    /// Sets the GCS layout.
+    pub fn gcs(mut self, g: GcsConfig) -> Self {
+        self.cfg.gcs = g;
+        self
+    }
+
+    /// Sets the scheduler behaviour.
+    pub fn scheduler(mut self, s: SchedulerConfig) -> Self {
+        self.cfg.scheduler = s;
+        self
+    }
+
+    /// Sets the scheduling policy, keeping other scheduler defaults.
+    pub fn policy(mut self, p: SchedulerPolicy) -> Self {
+        self.cfg.scheduler.policy = p;
+        self
+    }
+
+    /// Sets the per-node object store parameters.
+    pub fn object_store(mut self, o: ObjectStoreConfig) -> Self {
+        self.cfg.object_store = o;
+        self
+    }
+
+    /// Sets fault-tolerance behaviour.
+    pub fn fault(mut self, f: FaultConfig) -> Self {
+        self.cfg.fault = f;
+        self
+    }
+
+    /// Sets the deterministic seed.
+    pub fn seed(mut self, s: u64) -> Self {
+        self.cfg.seed = s;
+        self
+    }
+
+    /// Finalizes the configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration violates an invariant; builders are used
+    /// at setup time where failing fast is the right behaviour.
+    pub fn build(self) -> RayConfig {
+        if let Err(msg) = self.cfg.validate() {
+            panic!("invalid RayConfig: {msg}");
+        }
+        self.cfg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_is_valid() {
+        assert!(RayConfig::default().validate().is_ok());
+    }
+
+    #[test]
+    fn workers_drive_cpu_capacity() {
+        let cfg = RayConfig::builder().workers_per_node(8).build();
+        assert_eq!(cfg.node_resources.cpu(), 8.0);
+    }
+
+    #[test]
+    fn explicit_resources_stick() {
+        let cfg = RayConfig::builder()
+            .node_resources(Resources::new(4.0, 1.0))
+            .workers_per_node(8)
+            .build();
+        assert_eq!(cfg.node_resources.cpu(), 4.0);
+        assert_eq!(cfg.node_resources.gpu(), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid RayConfig")]
+    fn zero_nodes_rejected() {
+        let _ = RayConfig::builder().nodes(0).build();
+    }
+
+    #[test]
+    fn validation_catches_bad_ewma() {
+        let mut cfg = RayConfig::default();
+        cfg.scheduler.ewma_alpha = 0.0;
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn total_workers() {
+        let cfg = RayConfig::builder().nodes(3).workers_per_node(4).build();
+        assert_eq!(cfg.total_workers(), 12);
+    }
+}

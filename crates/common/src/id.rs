@@ -1,0 +1,364 @@
+//! Strongly-typed identifiers.
+//!
+//! Ray names every object, task, actor, and function with an opaque unique
+//! ID; the GCS shards its tables by these IDs (paper §4.2.4: "GCS tables are
+//! sharded by object and task IDs to scale"). We reproduce that scheme with
+//! 16-byte IDs wrapped in distinct newtypes so the type system prevents, say,
+//! passing a `TaskId` where an `ObjectId` is expected.
+//!
+//! Derived IDs are deterministic: the i-th return value of task `T` has
+//! `ObjectId::for_task_return(T, i)`, so any node can compute an object's ID
+//! from lineage alone — the property that makes lineage-based reconstruction
+//! (paper §4.2.3) possible without coordination.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use serde::{Deserialize, Serialize};
+
+use crate::util::fnv1a_128;
+
+/// Number of bytes in a raw unique ID.
+pub const ID_LEN: usize = 16;
+
+/// An opaque 16-byte identifier, the common representation behind every
+/// typed ID in the system.
+///
+/// # Examples
+///
+/// ```
+/// use ray_common::id::UniqueId;
+/// let a = UniqueId::random();
+/// let b = UniqueId::random();
+/// assert_ne!(a, b);
+/// assert_eq!(a, UniqueId::from_bytes(a.as_bytes()));
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct UniqueId([u8; ID_LEN]);
+
+/// Process-wide counter mixed into freshly generated IDs.
+static ID_COUNTER: AtomicU64 = AtomicU64::new(0x9e37_79b9_7f4a_7c15);
+
+impl UniqueId {
+    /// The all-zero ID, used as a sentinel (e.g. "no parent task").
+    pub const NIL: UniqueId = UniqueId([0u8; ID_LEN]);
+
+    /// Generates a fresh, unique ID.
+    ///
+    /// Uniqueness comes from a process-wide atomic counter mixed through a
+    /// SplitMix64 finalizer; this is cheap enough for the hot task-submission
+    /// path (the paper targets millions of tasks per second).
+    pub fn random() -> Self {
+        let c = ID_COUNTER.fetch_add(1, Ordering::Relaxed);
+        let lo = splitmix64(c);
+        let hi = splitmix64(c ^ 0xdead_beef_cafe_f00d);
+        let mut bytes = [0u8; ID_LEN];
+        bytes[..8].copy_from_slice(&lo.to_le_bytes());
+        bytes[8..].copy_from_slice(&hi.to_le_bytes());
+        UniqueId(bytes)
+    }
+
+    /// Builds an ID from raw bytes.
+    pub const fn from_bytes(bytes: [u8; ID_LEN]) -> Self {
+        UniqueId(bytes)
+    }
+
+    /// Returns the raw bytes of the ID.
+    pub const fn as_bytes(&self) -> [u8; ID_LEN] {
+        self.0
+    }
+
+    /// Deterministically derives a new ID by hashing this ID with a domain
+    /// tag and an index.
+    pub fn derive(&self, domain: &str, index: u64) -> Self {
+        let mut buf = Vec::with_capacity(ID_LEN + domain.len() + 8);
+        buf.extend_from_slice(&self.0);
+        buf.extend_from_slice(domain.as_bytes());
+        buf.extend_from_slice(&index.to_le_bytes());
+        UniqueId(fnv1a_128(&buf))
+    }
+
+    /// Returns `true` for the all-zero sentinel ID.
+    pub fn is_nil(&self) -> bool {
+        self.0 == [0u8; ID_LEN]
+    }
+
+    /// A stable 64-bit digest of the ID, used for sharding and hashing.
+    pub fn digest(&self) -> u64 {
+        u64::from_le_bytes(self.0[..8].try_into().expect("ID_LEN >= 8"))
+    }
+}
+
+impl fmt::Debug for UniqueId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Short hex form: first six bytes are enough to tell IDs apart in logs.
+        for b in &self.0[..6] {
+            write!(f, "{b:02x}")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for UniqueId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for b in &self.0 {
+            write!(f, "{b:02x}")?;
+        }
+        Ok(())
+    }
+}
+
+/// SplitMix64 finalizer; spreads a counter into a well-distributed word.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+macro_rules! typed_id {
+    ($(#[$meta:meta])* $name:ident) => {
+        $(#[$meta])*
+        #[derive(
+            Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
+        )]
+        pub struct $name(pub UniqueId);
+
+        impl $name {
+            /// The all-zero sentinel value.
+            pub const NIL: $name = $name(UniqueId::NIL);
+
+            /// Generates a fresh, unique ID of this type.
+            pub fn random() -> Self {
+                $name(UniqueId::random())
+            }
+
+            /// Builds an ID of this type from raw bytes.
+            pub const fn from_bytes(bytes: [u8; ID_LEN]) -> Self {
+                $name(UniqueId::from_bytes(bytes))
+            }
+
+            /// Returns `true` for the all-zero sentinel.
+            pub fn is_nil(&self) -> bool {
+                self.0.is_nil()
+            }
+
+            /// A stable 64-bit digest, used for sharding.
+            pub fn digest(&self) -> u64 {
+                self.0.digest()
+            }
+        }
+
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!(stringify!($name), "({:?})"), self.0)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{:?}", self)
+            }
+        }
+    };
+}
+
+typed_id!(
+    /// Identifies an immutable data object in the distributed object store.
+    ObjectId
+);
+typed_id!(
+    /// Identifies a task (a remote function invocation or actor method call).
+    TaskId
+);
+typed_id!(
+    /// Identifies an actor (a stateful worker process).
+    ActorId
+);
+typed_id!(
+    /// Identifies a worker process on some node.
+    WorkerId
+);
+
+impl ObjectId {
+    /// The ID of the `index`-th return value of task `task`.
+    ///
+    /// Deterministic so that lineage reconstruction can recompute which
+    /// objects a re-executed task will produce.
+    pub fn for_task_return(task: TaskId, index: u64) -> Self {
+        ObjectId(task.0.derive("return", index))
+    }
+
+    /// The ID of an object created by `put` from a driver/worker.
+    pub fn for_put(task: TaskId, put_index: u64) -> Self {
+        ObjectId(task.0.derive("put", put_index))
+    }
+}
+
+impl TaskId {
+    /// The ID of the `index`-th task submitted by parent task `parent`.
+    ///
+    /// Like object IDs, task IDs are derived deterministically from the
+    /// submitting task so that replayed drivers/actors regenerate the same
+    /// graph.
+    pub fn for_child(parent: TaskId, index: u64) -> Self {
+        TaskId(parent.0.derive("child", index))
+    }
+}
+
+/// Identifies a node (machine) in the cluster.
+///
+/// Nodes are dense small integers because the simulated cluster addresses
+/// them as array indices; this mirrors Ray's client table entries.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// Returns the node index as `usize` for table addressing.
+    pub fn index(&self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "N{}", self.0)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "N{}", self.0)
+    }
+}
+
+/// Identifies a registered remote function or actor method.
+///
+/// Function IDs are stable hashes of the function's registered name, so every
+/// node resolves the same ID to the same function (paper Fig. 7: the function
+/// table maps IDs to definitions on every worker).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct FunctionId(pub u64);
+
+impl FunctionId {
+    /// Derives the function ID for a registered name.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use ray_common::id::FunctionId;
+    /// assert_eq!(FunctionId::for_name("add"), FunctionId::for_name("add"));
+    /// assert_ne!(FunctionId::for_name("add"), FunctionId::for_name("sub"));
+    /// ```
+    pub fn for_name(name: &str) -> Self {
+        FunctionId(crate::util::fnv1a_64(name.as_bytes()))
+    }
+}
+
+impl fmt::Debug for FunctionId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "F{:08x}", self.0 as u32)
+    }
+}
+
+/// Identifies a GCS shard.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct ShardId(pub u32);
+
+impl ShardId {
+    /// The shard responsible for a 64-bit key digest given `num_shards`.
+    pub fn for_digest(digest: u64, num_shards: usize) -> Self {
+        debug_assert!(num_shards > 0, "GCS must have at least one shard");
+        ShardId((digest % num_shards as u64) as u32)
+    }
+}
+
+impl fmt::Debug for ShardId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "S{}", self.0)
+    }
+}
+
+impl fmt::Display for ShardId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self:?}")
+    }
+}
+
+impl fmt::Display for FunctionId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self:?}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn random_ids_are_unique() {
+        let ids: HashSet<UniqueId> = (0..10_000).map(|_| UniqueId::random()).collect();
+        assert_eq!(ids.len(), 10_000);
+    }
+
+    #[test]
+    fn nil_is_nil() {
+        assert!(UniqueId::NIL.is_nil());
+        assert!(!UniqueId::random().is_nil());
+        assert!(TaskId::NIL.is_nil());
+    }
+
+    #[test]
+    fn derive_is_deterministic() {
+        let id = UniqueId::random();
+        assert_eq!(id.derive("x", 1), id.derive("x", 1));
+        assert_ne!(id.derive("x", 1), id.derive("x", 2));
+        assert_ne!(id.derive("x", 1), id.derive("y", 1));
+    }
+
+    #[test]
+    fn task_return_object_ids_are_deterministic_and_distinct() {
+        let t = TaskId::random();
+        assert_eq!(ObjectId::for_task_return(t, 0), ObjectId::for_task_return(t, 0));
+        assert_ne!(ObjectId::for_task_return(t, 0), ObjectId::for_task_return(t, 1));
+        let u = TaskId::random();
+        assert_ne!(ObjectId::for_task_return(t, 0), ObjectId::for_task_return(u, 0));
+    }
+
+    #[test]
+    fn put_and_return_namespaces_do_not_collide() {
+        let t = TaskId::random();
+        assert_ne!(ObjectId::for_put(t, 0), ObjectId::for_task_return(t, 0));
+    }
+
+    #[test]
+    fn child_task_ids_replay_identically() {
+        let parent = TaskId::random();
+        let first: Vec<TaskId> = (0..100).map(|i| TaskId::for_child(parent, i)).collect();
+        let second: Vec<TaskId> = (0..100).map(|i| TaskId::for_child(parent, i)).collect();
+        assert_eq!(first, second);
+        let unique: HashSet<_> = first.iter().collect();
+        assert_eq!(unique.len(), 100);
+    }
+
+    #[test]
+    fn shard_assignment_is_stable_and_in_range() {
+        for shards in 1..16 {
+            for _ in 0..100 {
+                let id = ObjectId::random();
+                let s = ShardId::for_digest(id.digest(), shards);
+                assert!(s.0 < shards as u32);
+                assert_eq!(s, ShardId::for_digest(id.digest(), shards));
+            }
+        }
+    }
+
+    #[test]
+    fn display_round_trips_hex() {
+        let id = UniqueId::random();
+        let hex = id.to_string();
+        assert_eq!(hex.len(), ID_LEN * 2);
+        assert!(hex.chars().all(|c| c.is_ascii_hexdigit()));
+    }
+}

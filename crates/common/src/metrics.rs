@@ -1,0 +1,218 @@
+//! Lightweight metrics: named atomic counters and gauges.
+//!
+//! The benchmarks that regenerate the paper's figures need cheap, contention-
+//! tolerant counters (tasks executed, bytes moved, spillovers, replays).
+//! A [`MetricsRegistry`] is shared across a cluster's components; counters
+//! are created once and then updated lock-free.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+/// A monotonically increasing counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Adds `n` to the counter.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Increments the counter by one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A gauge that can move both directions (e.g. bytes currently resident).
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicI64);
+
+impl Gauge {
+    /// Adds `n` (possibly negative) to the gauge.
+    pub fn add(&self, n: i64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Sets the gauge to an absolute value.
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A registry of named counters and gauges shared by one cluster.
+///
+/// # Examples
+///
+/// ```
+/// use ray_common::metrics::MetricsRegistry;
+/// let m = MetricsRegistry::new();
+/// m.counter("tasks_executed").inc();
+/// m.counter("tasks_executed").add(2);
+/// assert_eq!(m.counter("tasks_executed").get(), 3);
+/// ```
+#[derive(Debug, Default, Clone)]
+pub struct MetricsRegistry {
+    inner: Arc<Inner>,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    counters: RwLock<HashMap<String, Arc<Counter>>>,
+    gauges: RwLock<HashMap<String, Arc<Gauge>>>,
+}
+
+impl MetricsRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        MetricsRegistry::default()
+    }
+
+    /// Returns the counter with the given name, creating it if needed.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        if let Some(c) = self.inner.counters.read().get(name) {
+            return c.clone();
+        }
+        self.inner
+            .counters
+            .write()
+            .entry(name.to_string())
+            .or_insert_with(|| Arc::new(Counter::default()))
+            .clone()
+    }
+
+    /// Returns the gauge with the given name, creating it if needed.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        if let Some(g) = self.inner.gauges.read().get(name) {
+            return g.clone();
+        }
+        self.inner
+            .gauges
+            .write()
+            .entry(name.to_string())
+            .or_insert_with(|| Arc::new(Gauge::default()))
+            .clone()
+    }
+
+    /// Snapshot of all counters, sorted by name (for reports and tests).
+    pub fn counter_snapshot(&self) -> Vec<(String, u64)> {
+        let mut v: Vec<(String, u64)> = self
+            .inner
+            .counters
+            .read()
+            .iter()
+            .map(|(k, c)| (k.clone(), c.get()))
+            .collect();
+        v.sort();
+        v
+    }
+
+    /// Snapshot of all gauges, sorted by name.
+    pub fn gauge_snapshot(&self) -> Vec<(String, i64)> {
+        let mut v: Vec<(String, i64)> = self
+            .inner
+            .gauges
+            .read()
+            .iter()
+            .map(|(k, g)| (k.clone(), g.get()))
+            .collect();
+        v.sort();
+        v
+    }
+}
+
+/// Well-known metric names used across the workspace, collected here so
+/// benchmarks and tests don't drift on spelling.
+pub mod names {
+    /// Tasks submitted through any driver or worker context.
+    pub const TASKS_SUBMITTED: &str = "tasks_submitted";
+    /// Tasks that finished executing on some worker.
+    pub const TASKS_EXECUTED: &str = "tasks_executed";
+    /// Tasks re-executed due to lineage reconstruction.
+    pub const TASKS_REEXECUTED: &str = "tasks_reexecuted";
+    /// Actor methods replayed during actor reconstruction.
+    pub const METHODS_REPLAYED: &str = "methods_replayed";
+    /// Actor checkpoints taken.
+    pub const CHECKPOINTS_TAKEN: &str = "checkpoints_taken";
+    /// Tasks forwarded from a local scheduler to the global scheduler.
+    pub const TASKS_SPILLED: &str = "tasks_spilled";
+    /// Tasks scheduled directly by their local scheduler.
+    pub const TASKS_LOCAL: &str = "tasks_scheduled_locally";
+    /// Bytes copied between object stores.
+    pub const BYTES_TRANSFERRED: &str = "bytes_transferred";
+    /// Objects evicted from an object store's memory.
+    pub const OBJECTS_EVICTED: &str = "objects_evicted";
+    /// GCS entries flushed to disk.
+    pub const GCS_ENTRIES_FLUSHED: &str = "gcs_entries_flushed";
+    /// Bytes currently resident across object stores.
+    pub const STORE_RESIDENT_BYTES: &str = "store_resident_bytes";
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn counters_are_shared_by_name() {
+        let m = MetricsRegistry::new();
+        let a = m.counter("x");
+        let b = m.counter("x");
+        a.inc();
+        b.inc();
+        assert_eq!(m.counter("x").get(), 2);
+    }
+
+    #[test]
+    fn gauges_move_both_ways() {
+        let m = MetricsRegistry::new();
+        let g = m.gauge("resident");
+        g.add(100);
+        g.add(-40);
+        assert_eq!(g.get(), 60);
+        g.set(5);
+        assert_eq!(g.get(), 5);
+    }
+
+    #[test]
+    fn concurrent_increments_do_not_lose_updates() {
+        let m = MetricsRegistry::new();
+        let threads: Vec<_> = (0..8)
+            .map(|_| {
+                let m = m.clone();
+                thread::spawn(move || {
+                    for _ in 0..10_000 {
+                        m.counter("hot").inc();
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(m.counter("hot").get(), 80_000);
+    }
+
+    #[test]
+    fn snapshots_are_sorted() {
+        let m = MetricsRegistry::new();
+        m.counter("b").inc();
+        m.counter("a").inc();
+        let snap = m.counter_snapshot();
+        assert_eq!(snap[0].0, "a");
+        assert_eq!(snap[1].0, "b");
+    }
+}

@@ -1,0 +1,174 @@
+//! Small shared helpers: hashing and online estimators.
+
+/// FNV-1a 64-bit hash.
+///
+/// Used for function-name IDs and GCS shard assignment; not cryptographic.
+///
+/// # Examples
+///
+/// ```
+/// use ray_common::util::fnv1a_64;
+/// assert_eq!(fnv1a_64(b"add"), fnv1a_64(b"add"));
+/// assert_ne!(fnv1a_64(b"add"), fnv1a_64(b"sub"));
+/// ```
+pub fn fnv1a_64(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// A 128-bit digest built from two independent FNV-1a passes.
+///
+/// Good enough to make deterministic derived IDs collision-free in practice
+/// for the workloads in this repository.
+pub fn fnv1a_128(bytes: &[u8]) -> [u8; 16] {
+    let lo = fnv1a_64(bytes);
+    // Second pass with a different seed byte prepended decorrelates the halves.
+    let mut hash: u64 = 0x84222325_cbf29ce4;
+    hash ^= 0x5a;
+    hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    let mut out = [0u8; 16];
+    out[..8].copy_from_slice(&lo.to_le_bytes());
+    out[8..].copy_from_slice(&hash.to_le_bytes());
+    out
+}
+
+/// An exponentially weighted moving average.
+///
+/// The global scheduler "computes the average task execution and the average
+/// transfer bandwidth using simple exponential averaging" (paper §4.2.2);
+/// this is that estimator.
+///
+/// # Examples
+///
+/// ```
+/// use ray_common::util::Ewma;
+/// let mut e = Ewma::new(0.5);
+/// e.observe(10.0);
+/// e.observe(20.0);
+/// assert!(e.value() > 10.0 && e.value() < 20.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Ewma {
+    alpha: f64,
+    value: Option<f64>,
+}
+
+impl Ewma {
+    /// Creates an estimator with smoothing factor `alpha` in `(0, 1]`.
+    ///
+    /// Larger `alpha` weights recent observations more heavily.
+    pub fn new(alpha: f64) -> Self {
+        assert!(alpha > 0.0 && alpha <= 1.0, "alpha must be in (0, 1]");
+        Ewma { alpha, value: None }
+    }
+
+    /// Feeds one observation.
+    pub fn observe(&mut self, x: f64) {
+        self.value = Some(match self.value {
+            None => x,
+            Some(v) => self.alpha * x + (1.0 - self.alpha) * v,
+        });
+    }
+
+    /// Current estimate, or `default` before any observation.
+    pub fn value_or(&self, default: f64) -> f64 {
+        self.value.unwrap_or(default)
+    }
+
+    /// Current estimate; zero before any observation.
+    pub fn value(&self) -> f64 {
+        self.value_or(0.0)
+    }
+
+    /// Whether any observation has been made.
+    pub fn is_primed(&self) -> bool {
+        self.value.is_some()
+    }
+}
+
+/// Formats a byte count with a binary-unit suffix for human-readable reports.
+///
+/// # Examples
+///
+/// ```
+/// use ray_common::util::human_bytes;
+/// assert_eq!(human_bytes(1536), "1.5KiB");
+/// assert_eq!(human_bytes(10), "10B");
+/// ```
+pub fn human_bytes(n: u64) -> String {
+    const UNITS: [&str; 5] = ["B", "KiB", "MiB", "GiB", "TiB"];
+    let mut v = n as f64;
+    let mut unit = 0;
+    while v >= 1024.0 && unit < UNITS.len() - 1 {
+        v /= 1024.0;
+        unit += 1;
+    }
+    if unit == 0 {
+        format!("{n}B")
+    } else {
+        format!("{v:.1}{}", UNITS[unit])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv_is_stable() {
+        // Known FNV-1a test vector.
+        assert_eq!(fnv1a_64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a_64(b"a"), 0xaf63_dc4c_8601_ec8c);
+    }
+
+    #[test]
+    fn fnv_128_halves_differ() {
+        let d = fnv1a_128(b"hello");
+        assert_ne!(&d[..8], &d[8..]);
+    }
+
+    #[test]
+    fn ewma_converges_to_constant_input() {
+        let mut e = Ewma::new(0.3);
+        for _ in 0..200 {
+            e.observe(42.0);
+        }
+        assert!((e.value() - 42.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ewma_tracks_recent_values_more_with_high_alpha() {
+        let mut slow = Ewma::new(0.1);
+        let mut fast = Ewma::new(0.9);
+        for _ in 0..10 {
+            slow.observe(0.0);
+            fast.observe(0.0);
+        }
+        slow.observe(100.0);
+        fast.observe(100.0);
+        assert!(fast.value() > slow.value());
+    }
+
+    #[test]
+    fn ewma_unprimed_uses_default() {
+        let e = Ewma::new(0.5);
+        assert!(!e.is_primed());
+        assert_eq!(e.value_or(7.0), 7.0);
+    }
+
+    #[test]
+    fn human_bytes_units() {
+        assert_eq!(human_bytes(0), "0B");
+        assert_eq!(human_bytes(1024), "1.0KiB");
+        assert_eq!(human_bytes(1024 * 1024), "1.0MiB");
+        assert_eq!(human_bytes(3 * 1024 * 1024 * 1024), "3.0GiB");
+    }
+}

@@ -1,0 +1,455 @@
+//! Actors: stateful workers, stateful-edge sequencing, checkpointed
+//! recovery.
+//!
+//! "An actor is a stateful process that executes, when invoked, only the
+//! methods it exposes ... actors execute methods serially, except that
+//! each method depends on the state resulting from the previous method
+//! execution" (paper §4.1). Here:
+//!
+//! - The [`ActorRouter`] is the client-visible face: it queues method
+//!   calls while an actor is being created or recovered and delivers them
+//!   in order once a host is live.
+//! - The actor *host* is a dedicated thread owning the user's
+//!   [`ActorInstance`](crate::registry::ActorInstance). It assigns the
+//!   stateful-edge sequence numbers, logs each method into the GCS method
+//!   log (the lineage chain of Fig. 4), stores results, and checkpoints
+//!   every N methods when configured.
+//! - [`rebuild_actor`] implements Fig. 11b recovery: respawn from the
+//!   constructor, restore the latest checkpoint, replay the logged chain
+//!   from the checkpoint's sequence number, re-storing any outputs that
+//!   were lost along the way.
+
+use std::collections::{HashMap, VecDeque};
+use std::panic::AssertUnwindSafe;
+use std::sync::Arc;
+
+use bytes::Bytes;
+use crossbeam_channel::{unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+
+use ray_common::metrics::names;
+use ray_common::{ActorId, NodeId, ObjectId, RayError, RayResult};
+use ray_gcs::tables::{ActorRecord, ActorState, CheckpointRecord};
+use ray_scheduler::TaskDescriptor;
+
+use crate::context::RayContext;
+use crate::registry::ActorInstance;
+use crate::runtime::{encode_error_object, RuntimeShared};
+use crate::task::{TaskKind, TaskSpec};
+use crate::worker::{panic_message, resolve_args};
+
+/// Messages to an actor host thread.
+pub(crate) enum ActorMsg {
+    /// Invoke one method (an `ActorMethod` task spec).
+    Invoke(TaskSpec),
+    /// Stop the host (node death or shutdown).
+    Stop,
+}
+
+enum ActorEntry {
+    /// Handle exists; creation task has not executed yet. Calls queue.
+    Pending { queued: VecDeque<TaskSpec> },
+    /// Host is live on `node`.
+    Alive { tx: Sender<ActorMsg>, node: NodeId },
+    /// Host lost; rebuild in progress. Calls queue.
+    Recovering { queued: VecDeque<TaskSpec> },
+    /// Permanently gone.
+    Dead,
+}
+
+/// Client-side routing state for every actor in the cluster.
+#[derive(Default)]
+pub(crate) struct ActorRouter {
+    inner: Mutex<HashMap<ActorId, ActorEntry>>,
+}
+
+impl ActorRouter {
+    pub fn new() -> ActorRouter {
+        ActorRouter::default()
+    }
+
+    /// Registers a just-created handle (before the creation task runs).
+    pub fn register_pending(&self, actor: ActorId) {
+        self.inner
+            .lock()
+            .entry(actor)
+            .or_insert(ActorEntry::Pending { queued: VecDeque::new() });
+    }
+
+    /// Routes a method invocation: delivered in order if the actor is
+    /// alive, queued while pending/recovering.
+    pub fn invoke(&self, actor: ActorId, spec: TaskSpec) -> RayResult<()> {
+        let mut inner = self.inner.lock();
+        match inner.get_mut(&actor) {
+            None => Err(RayError::ActorDied(actor)),
+            Some(ActorEntry::Dead) => Err(RayError::ActorDied(actor)),
+            Some(ActorEntry::Pending { queued }) | Some(ActorEntry::Recovering { queued }) => {
+                queued.push_back(spec);
+                Ok(())
+            }
+            Some(ActorEntry::Alive { tx, .. }) => {
+                if tx.send(ActorMsg::Invoke(spec)).is_err() {
+                    // Host thread is gone but nobody marked it: treat as
+                    // recovering; the caller's get() will poke recovery.
+                    Err(RayError::ActorDied(actor))
+                } else {
+                    Ok(())
+                }
+            }
+        }
+    }
+
+    /// Marks the actor alive on `node`, flushing queued calls to the new
+    /// host in submission order.
+    pub fn activate(&self, actor: ActorId, tx: Sender<ActorMsg>, node: NodeId) {
+        let mut inner = self.inner.lock();
+        let queued = match inner.remove(&actor) {
+            Some(ActorEntry::Pending { queued }) | Some(ActorEntry::Recovering { queued }) => {
+                queued
+            }
+            _ => VecDeque::new(),
+        };
+        for spec in &queued {
+            let _ = tx.send(ActorMsg::Invoke(spec.clone()));
+        }
+        inner.insert(actor, ActorEntry::Alive { tx, node });
+    }
+
+    /// Transitions an alive actor to recovering (returns `true` if this
+    /// call performed the transition — the caller then owns the rebuild).
+    pub fn begin_recovery(&self, actor: ActorId) -> bool {
+        let mut inner = self.inner.lock();
+        match inner.get_mut(&actor) {
+            Some(entry @ ActorEntry::Alive { .. }) => {
+                if let ActorEntry::Alive { tx, .. } = entry {
+                    let _ = tx.send(ActorMsg::Stop);
+                }
+                *entry = ActorEntry::Recovering { queued: VecDeque::new() };
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Marks an actor permanently dead.
+    pub fn mark_dead(&self, actor: ActorId) {
+        self.inner.lock().insert(actor, ActorEntry::Dead);
+    }
+
+    /// The node hosting an actor, if alive.
+    pub fn node_of(&self, actor: ActorId) -> Option<NodeId> {
+        match self.inner.lock().get(&actor) {
+            Some(ActorEntry::Alive { node, .. }) => Some(*node),
+            _ => None,
+        }
+    }
+
+    /// Actors currently hosted on `node` (for node-death handling).
+    pub fn actors_on(&self, node: NodeId) -> Vec<ActorId> {
+        self.inner
+            .lock()
+            .iter()
+            .filter_map(|(id, e)| match e {
+                ActorEntry::Alive { node: n, .. } if *n == node => Some(*id),
+                _ => None,
+            })
+            .collect()
+    }
+}
+
+/// Host-side state for one live actor.
+struct ActorHost {
+    shared: Arc<RuntimeShared>,
+    actor: ActorId,
+    node: NodeId,
+    instance: Box<dyn ActorInstance>,
+    /// Next stateful-edge sequence number.
+    seq: u64,
+}
+
+impl ActorHost {
+    fn run(mut self, rx: Receiver<ActorMsg>) {
+        while let Ok(msg) = rx.recv() {
+            match msg {
+                ActorMsg::Invoke(spec) => {
+                    if self.shared.node(self.node).is_none() {
+                        return; // Node died under us.
+                    }
+                    self.execute(&spec, /* replay: */ false);
+                }
+                ActorMsg::Stop => return,
+            }
+        }
+    }
+
+    /// Executes one method: log → resolve → call → store → record →
+    /// maybe checkpoint. During replay, logging is skipped (the log entry
+    /// exists) and outputs are only stored if missing.
+    fn execute(&mut self, spec: &TaskSpec, replay: bool) {
+        let seq = self.seq;
+        let (method, read_only) = match &spec.kind {
+            TaskKind::ActorMethod { method, read_only, .. } => (method.clone(), *read_only),
+            _ => {
+                // Malformed routing; surface as a failed result.
+                let msg = "non-method spec delivered to actor host".to_string();
+                let outs =
+                    (0..spec.num_returns).map(|_| encode_error_object(spec.task, &msg)).collect();
+                let _ = self.store_outputs(spec, outs, replay);
+                return;
+            }
+        };
+        if read_only {
+            // No stateful edge: not logged, not sequenced, never replayed.
+        } else if !replay {
+            let _ = self.shared.gcs_client.log_actor_method(self.actor, seq, spec.task);
+        } else {
+            self.shared.metrics.counter(names::METHODS_REPLAYED).inc();
+        }
+
+        let outputs = match resolve_args(&self.shared, self.node, None, spec) {
+            Ok(args) => {
+                let ctx = RayContext::for_task(
+                    self.shared.clone(),
+                    self.node,
+                    spec.task,
+                    None,
+                );
+                let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                    self.instance.call(&ctx, &method, &args)
+                }));
+                match result {
+                    Ok(Ok(outs)) if outs.len() == spec.num_returns as usize => {
+                        outs.into_iter().map(Bytes::from).collect::<Vec<_>>()
+                    }
+                    Ok(Ok(outs)) => {
+                        let msg = format!(
+                            "method {method} returned {} values, declared {}",
+                            outs.len(),
+                            spec.num_returns
+                        );
+                        (0..spec.num_returns)
+                            .map(|_| encode_error_object(spec.task, &msg))
+                            .collect()
+                    }
+                    Ok(Err(msg)) => (0..spec.num_returns)
+                        .map(|_| encode_error_object(spec.task, &msg))
+                        .collect(),
+                    Err(panic) => {
+                        let msg = panic_message(panic);
+                        (0..spec.num_returns)
+                            .map(|_| encode_error_object(spec.task, &msg))
+                            .collect()
+                    }
+                }
+            }
+            Err(e) => (0..spec.num_returns)
+                .map(|_| encode_error_object(spec.task, &e.to_string()))
+                .collect(),
+        };
+        let _ = self.store_outputs(spec, outputs, replay);
+        if read_only {
+            return;
+        }
+        self.seq += 1;
+
+        if !replay {
+            // Publish progress (methods_invoked is the replay upper bound).
+            if let Ok(Some(mut rec)) = self.shared.gcs_client.get_actor(self.actor) {
+                rec.methods_invoked = self.seq;
+                rec.node = self.node;
+                rec.state = ActorState::Alive;
+                let _ = self.shared.gcs_client.put_actor(&rec);
+            }
+            if let Some(every) = self.shared.config.fault.actor_checkpoint_interval {
+                if every > 0 && self.seq % every == 0 {
+                    self.take_checkpoint();
+                }
+            }
+        }
+    }
+
+    fn take_checkpoint(&self) {
+        if let Some(data) = self.instance.checkpoint() {
+            let rec = CheckpointRecord { seq: self.seq, data: ray_codec::Blob(data) };
+            if self.shared.gcs_client.put_checkpoint(self.actor, &rec).is_ok() {
+                self.shared.metrics.counter(names::CHECKPOINTS_TAKEN).inc();
+            }
+        }
+    }
+
+    /// Stores method outputs; during replay only fills holes (objects with
+    /// no surviving replica).
+    fn store_outputs(&self, spec: &TaskSpec, outputs: Vec<Bytes>, replay: bool) -> RayResult<()> {
+        if !replay {
+            return self.shared.store_results(self.node, spec, outputs);
+        }
+        let handle = self.shared.node(self.node).ok_or(RayError::NodeDead(self.node))?;
+        for (i, data) in outputs.into_iter().enumerate() {
+            let id = ObjectId::for_task_return(spec.task, i as u64);
+            let locs = self.shared.gcs_client.get_object_locations(id)?;
+            let any_live = locs.iter().any(|l| self.shared.fabric.is_alive(l.node));
+            if any_live {
+                continue;
+            }
+            let size = data.len() as u64;
+            match handle.store.put_nocopy(id, data) {
+                Ok(_) | Err(RayError::DuplicateObject(_)) => {}
+                Err(e) => return Err(e),
+            }
+            self.shared.gcs_client.add_object_location(id, self.node, size)?;
+        }
+        Ok(())
+    }
+}
+
+/// Creates a live actor on `node` from its creation task. Called by the
+/// worker executing the `ActorCreation` spec (Fig. 4's `A₁₀` node).
+pub(crate) fn spawn_actor_here(
+    shared: &Arc<RuntimeShared>,
+    node: NodeId,
+    actor: ActorId,
+    creation_spec: &TaskSpec,
+) -> RayResult<()> {
+    // Resolve constructor args *now* and persist the resolved payloads:
+    // recovery must not depend on argument objects that may later be lost.
+    let args = resolve_args(shared, node, None, creation_spec)?;
+    let arg_payloads: Vec<ray_codec::Blob> =
+        args.iter().map(|b| ray_codec::Blob(b.to_vec())).collect();
+    let ctor = shared.registry.actor_ctor(creation_spec.function)?;
+    let ctx = RayContext::for_task(shared.clone(), node, creation_spec.task, None);
+    let instance = ctor(&ctx, &args)
+        .map_err(|m| RayError::TaskFailed { task: creation_spec.task, message: m })?;
+
+    let record = ActorRecord {
+        actor,
+        node,
+        constructor: creation_spec.function,
+        creation_task: creation_spec.task,
+        init_args: ray_codec::Blob(ray_codec::encode(&arg_payloads).map_err(RayError::from)?),
+        state: ActorState::Alive,
+        methods_invoked: 0,
+    };
+    shared.gcs_client.put_actor(&record)?;
+
+    start_host(shared, node, actor, instance, 0);
+    Ok(())
+}
+
+fn start_host(
+    shared: &Arc<RuntimeShared>,
+    node: NodeId,
+    actor: ActorId,
+    instance: Box<dyn ActorInstance>,
+    seq: u64,
+) {
+    let (tx, rx) = unbounded();
+    let host = ActorHost { shared: shared.clone(), actor, node, instance, seq };
+    std::thread::Builder::new()
+        .name(format!("actor-{actor}"))
+        .spawn(move || host.run(rx))
+        .expect("spawn actor host");
+    shared.actors.activate(actor, tx, node);
+}
+
+/// Rebuilds an actor after its host (or its host's node) died: Fig. 11b.
+/// Idempotent: concurrent callers coalesce on the router's state.
+pub(crate) fn rebuild_actor(shared: &Arc<RuntimeShared>, actor: ActorId) -> RayResult<()> {
+    if !shared.actors.begin_recovery(actor) {
+        return Ok(()); // Someone else is rebuilding (or it is not alive-but-stale).
+    }
+    let shared = shared.clone();
+    std::thread::Builder::new()
+        .name(format!("actor-recovery-{actor}"))
+        .spawn(move || {
+            if let Err(e) = rebuild_actor_blocking(&shared, actor) {
+                // Unrecoverable (e.g. record lost): the actor is dead;
+                // pending calls will surface ActorDied.
+                let _ = e;
+                shared.actors.mark_dead(actor);
+            }
+        })
+        .expect("spawn actor recovery");
+    Ok(())
+}
+
+/// Checks an actor's host is live; kicks recovery if its node died.
+pub(crate) fn ensure_actor_alive(shared: &Arc<RuntimeShared>, actor: ActorId) -> RayResult<()> {
+    match shared.actors.node_of(actor) {
+        Some(node) if shared.fabric.is_alive(node) => Ok(()),
+        Some(_) => rebuild_actor(shared, actor),
+        None => Ok(()), // Pending/recovering/dead: nothing to kick here.
+    }
+}
+
+fn rebuild_actor_blocking(shared: &Arc<RuntimeShared>, actor: ActorId) -> RayResult<()> {
+    let record = shared
+        .gcs_client
+        .get_actor(actor)?
+        .ok_or(RayError::ActorDied(actor))?;
+    // Resource demand comes from the creation task's lineage entry.
+    let demand = match shared.gcs_client.get_task(record.creation_task)? {
+        Some(bytes) => TaskSpec::decode(&bytes)?.demand,
+        None => ray_common::Resources::none(),
+    };
+    // Place the respawn like any creation: feasible node, least waiting.
+    let desc = TaskDescriptor {
+        task: record.creation_task,
+        demand,
+        inputs: Vec::new(),
+        submitted_from: record.node,
+    };
+    let node = loop {
+        match shared.global.place(&desc)? {
+            Some(n) => break n,
+            None => std::thread::sleep(std::time::Duration::from_millis(5)),
+        }
+    };
+
+    // Reconstruct the instance: ctor → checkpoint restore → replay.
+    let ctor = shared.registry.actor_ctor(record.constructor)?;
+    let arg_payloads: Vec<ray_codec::Blob> =
+        ray_codec::decode(&record.init_args.0).map_err(RayError::from)?;
+    let args: Vec<Bytes> = arg_payloads.into_iter().map(|b| Bytes::from(b.0)).collect();
+    let ctx = RayContext::for_task(shared.clone(), node, record.creation_task, None);
+    let mut instance = ctor(&ctx, &args)
+        .map_err(|m| RayError::TaskFailed { task: record.creation_task, message: m })?;
+
+    let mut start_seq = 0u64;
+    if let Some(ck) = shared.gcs_client.get_checkpoint(actor)? {
+        if instance.restore(&ck.data.0).is_ok() {
+            start_seq = ck.seq;
+        }
+    }
+
+    // Replay the stateful-edge chain from the checkpoint (Fig. 11b: "only
+    // 500 methods to be re-executed, versus 10k without checkpointing").
+    let mut host = ActorHost { shared: shared.clone(), actor, node, instance, seq: start_seq };
+    for seq in start_seq..record.methods_invoked {
+        let task = match shared.gcs_client.get_actor_method(actor, seq)? {
+            Some(t) => t,
+            None => break, // Log hole (crashed mid-log); stop replay here.
+        };
+        let spec_bytes = match shared.gcs_client.get_task(task)? {
+            Some(b) => b,
+            None => break,
+        };
+        let spec = TaskSpec::decode(&spec_bytes)?;
+        host.execute(&spec, /* replay: */ true);
+    }
+
+    // Publish the new placement and go live.
+    let mut record = record;
+    record.node = node;
+    record.state = ActorState::Alive;
+    shared.gcs_client.put_actor(&record)?;
+    let ActorHost { instance, seq, .. } = host;
+    start_host(shared, node, actor, instance, seq);
+    Ok(())
+}
+
+/// Node-death hook: kick recovery for every actor hosted on `node`.
+pub(crate) fn recover_actors_on(shared: &Arc<RuntimeShared>, node: NodeId) {
+    for actor in shared.actors.actors_on(node) {
+        let _ = rebuild_actor(shared, actor);
+    }
+}

@@ -1,0 +1,381 @@
+//! Cluster assembly: builds the system layer (Fig. 5) inside one process.
+//!
+//! A [`Cluster`] owns a GCS (sharded + chain-replicated), a global
+//! scheduler thread, and N simulated nodes — each a local scheduler
+//! thread, a worker pool, and an object store — wired together through the
+//! simulated network fabric. Nodes can be killed and restarted at runtime
+//! to drive the fault-tolerance experiments (Fig. 10, Fig. 11).
+
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use crossbeam_channel::unbounded;
+use parking_lot::{Mutex, RwLock};
+
+use ray_common::metrics::MetricsRegistry;
+use ray_common::{NodeId, RayConfig, RayError, RayResult};
+use ray_gcs::Gcs;
+use ray_object_store::store::LocalObjectStore;
+use ray_object_store::transfer::{StoreDirectory, TransferManager};
+use ray_scheduler::{GlobalScheduler, LoadTable};
+use ray_transport::Fabric;
+
+use crate::actor::{self, ActorRouter};
+use crate::context::RayContext;
+use crate::global_loop::start_global;
+use crate::node::start_node;
+use crate::registry::{ActorInstance, FunctionRegistry};
+use crate::runtime::{GlobalMsg, InflightTable, NodeMsg, RuntimeShared};
+
+/// A running rustray cluster.
+///
+/// # Examples
+///
+/// ```
+/// use rustray::{Cluster, task::Arg};
+/// use ray_common::RayConfig;
+///
+/// let cluster = Cluster::start(RayConfig::builder().nodes(2).workers_per_node(2).build()).unwrap();
+/// cluster.register_fn2("add", |a: i64, b: i64| a + b);
+/// let ctx = cluster.driver();
+/// let fut = ctx
+///     .call::<i64>("add", vec![Arg::value(&2i64).unwrap(), Arg::value(&3i64).unwrap()])
+///     .unwrap();
+/// assert_eq!(ctx.get(&fut).unwrap(), 5);
+/// cluster.shutdown();
+/// ```
+pub struct Cluster {
+    shared: Arc<RuntimeShared>,
+    global_join: Mutex<Option<JoinHandle<()>>>,
+}
+
+impl Cluster {
+    /// Starts a cluster per the configuration.
+    pub fn start(config: RayConfig) -> RayResult<Cluster> {
+        config.validate().map_err(RayError::Invalid)?;
+        let metrics = MetricsRegistry::new();
+        // Node-slot capacity leaves headroom for add_node/restart cycles.
+        let capacity = config.num_nodes * 2 + 8;
+
+        let fabric = Fabric::new(capacity, &config.transport);
+        let gcs = Gcs::start_with_metrics(&config.gcs, metrics.clone())?;
+        let gcs_client = gcs.client();
+        let directory = StoreDirectory::new();
+        let transfer = TransferManager::new(
+            directory.clone(),
+            fabric.clone(),
+            gcs_client.clone(),
+            config.transport.connections_per_transfer,
+            metrics.clone(),
+        );
+        let load = Arc::new(LoadTable::new(config.scheduler.ewma_alpha));
+        let global = GlobalScheduler::new(
+            config.scheduler.policy,
+            load.clone(),
+            gcs_client.clone(),
+            config.scheduler.added_decision_delay,
+            config.seed ^ 0x9e3779b97f4a7c15,
+        );
+        let (global_tx, global_rx) = unbounded::<GlobalMsg>();
+
+        let shared = Arc::new(RuntimeShared {
+            config: config.clone(),
+            metrics,
+            fabric,
+            gcs,
+            gcs_client,
+            registry: FunctionRegistry::new(),
+            directory,
+            transfer,
+            load,
+            global,
+            global_tx,
+            nodes: RwLock::new(Vec::new()),
+            queue_lens: (0..capacity).map(|_| AtomicUsize::new(0)).collect(),
+            inflight: InflightTable::new(),
+            actors: ActorRouter::new(),
+            shutting_down: AtomicBool::new(false),
+            driver_counter: AtomicU64::new(1),
+        });
+
+        // Nodes beyond the initial set start dead (they are add_node
+        // slots); mark them so transfers to unused slots fail fast.
+        for i in config.num_nodes..capacity {
+            shared.fabric.kill_node(NodeId(i as u32));
+        }
+        for i in 0..config.num_nodes {
+            start_node(&shared, NodeId(i as u32));
+        }
+
+        let global_join = start_global(shared.clone(), global_rx);
+        Ok(Cluster { shared, global_join: Mutex::new(Some(global_join)) })
+    }
+
+    /// Starts a cluster with the default (2-node) configuration.
+    pub fn start_default() -> RayResult<Cluster> {
+        Cluster::start(RayConfig::default())
+    }
+
+    // ------------------------------------------------------------------
+    // Registration (publishes to every worker; Fig. 7a step 0).
+    // ------------------------------------------------------------------
+
+    /// Registers a raw remote function (encoded args in, encoded returns
+    /// out, context available for nested calls).
+    pub fn register_raw(
+        &self,
+        name: &str,
+        f: impl Fn(&RayContext, &[bytes::Bytes]) -> crate::registry::RemoteResult
+            + Send
+            + Sync
+            + 'static,
+    ) {
+        let id = self.shared.registry.register_raw(name, f);
+        let _ = self.shared.gcs_client.register_function(id, name);
+    }
+
+    /// Registers an actor class.
+    pub fn register_actor_class(
+        &self,
+        name: &str,
+        ctor: impl Fn(&RayContext, &[bytes::Bytes]) -> Result<Box<dyn ActorInstance>, String>
+            + Send
+            + Sync
+            + 'static,
+    ) {
+        let id = self.shared.registry.register_actor(name, ctor);
+        let _ = self.shared.gcs_client.register_function(id, name);
+    }
+
+    /// Registers a typed 0-argument function.
+    pub fn register_fn0<R: serde::Serialize>(
+        &self,
+        name: &str,
+        f: impl Fn() -> R + Send + Sync + 'static,
+    ) {
+        let id = self.shared.registry.register_fn0(name, f);
+        let _ = self.shared.gcs_client.register_function(id, name);
+    }
+
+    /// Registers a typed 1-argument function.
+    pub fn register_fn1<A, R>(&self, name: &str, f: impl Fn(A) -> R + Send + Sync + 'static)
+    where
+        A: serde::de::DeserializeOwned,
+        R: serde::Serialize,
+    {
+        let id = self.shared.registry.register_fn1(name, f);
+        let _ = self.shared.gcs_client.register_function(id, name);
+    }
+
+    /// Registers a typed 2-argument function.
+    pub fn register_fn2<A, B, R>(
+        &self,
+        name: &str,
+        f: impl Fn(A, B) -> R + Send + Sync + 'static,
+    ) where
+        A: serde::de::DeserializeOwned,
+        B: serde::de::DeserializeOwned,
+        R: serde::Serialize,
+    {
+        let id = self.shared.registry.register_fn2(name, f);
+        let _ = self.shared.gcs_client.register_function(id, name);
+    }
+
+    /// Registers a typed 3-argument function.
+    pub fn register_fn3<A, B, C, R>(
+        &self,
+        name: &str,
+        f: impl Fn(A, B, C) -> R + Send + Sync + 'static,
+    ) where
+        A: serde::de::DeserializeOwned,
+        B: serde::de::DeserializeOwned,
+        C: serde::de::DeserializeOwned,
+        R: serde::Serialize,
+    {
+        let id = self.shared.registry.register_fn3(name, f);
+        let _ = self.shared.gcs_client.register_function(id, name);
+    }
+
+    /// Registers a typed 4-argument function.
+    pub fn register_fn4<A, B, C, D, R>(
+        &self,
+        name: &str,
+        f: impl Fn(A, B, C, D) -> R + Send + Sync + 'static,
+    ) where
+        A: serde::de::DeserializeOwned,
+        B: serde::de::DeserializeOwned,
+        C: serde::de::DeserializeOwned,
+        D: serde::de::DeserializeOwned,
+        R: serde::Serialize,
+    {
+        let id = self.shared.registry.register_fn4(name, f);
+        let _ = self.shared.gcs_client.register_function(id, name);
+    }
+
+    // ------------------------------------------------------------------
+    // Drivers.
+    // ------------------------------------------------------------------
+
+    /// A driver context on node 0.
+    pub fn driver(&self) -> RayContext {
+        self.driver_on(NodeId(0))
+    }
+
+    /// A driver context on a specific node (scalability benches run one
+    /// driver per node).
+    pub fn driver_on(&self, node: NodeId) -> RayContext {
+        RayContext::for_driver(self.shared.clone(), node)
+    }
+
+    // ------------------------------------------------------------------
+    // Topology control (fault injection + elasticity).
+    // ------------------------------------------------------------------
+
+    /// Kills a node: its object store contents, queued tasks, and hosted
+    /// actors are lost; lineage reconstruction and actor rebuild recover
+    /// what consumers need (paper Fig. 11).
+    pub fn kill_node(&self, node: NodeId) {
+        let handle = {
+            let mut nodes = self.shared.nodes.write();
+            match nodes.get_mut(node.index()).and_then(|s| s.take()) {
+                Some(h) => h,
+                None => return,
+            }
+        };
+        handle.alive.store(false, Ordering::SeqCst);
+        self.shared.fabric.kill_node(node);
+        self.shared.directory.unregister(node);
+        handle.store.clear();
+        self.shared.load.mark_dead(node);
+        let _ = self.shared.gcs_client.mark_node_dead(node);
+        let _ = handle.tx.send(NodeMsg::Shutdown);
+        // Hosted actors move elsewhere, replaying from checkpoints.
+        actor::recover_actors_on(&self.shared, node);
+    }
+
+    /// Restarts a previously killed node slot with a fresh (empty) store.
+    pub fn restart_node(&self, node: NodeId) -> RayResult<()> {
+        {
+            let nodes = self.shared.nodes.read();
+            if nodes.get(node.index()).map_or(false, |s| s.is_some()) {
+                return Err(RayError::Invalid(format!("{node} is already running")));
+            }
+        }
+        if node.index() >= self.shared.queue_lens.len() {
+            return Err(RayError::Invalid(format!("{node} exceeds cluster capacity")));
+        }
+        start_node(&self.shared, node);
+        Ok(())
+    }
+
+    /// Adds a brand-new node (elastic scale-out), returning its ID.
+    pub fn add_node(&self) -> RayResult<NodeId> {
+        let idx = {
+            let nodes = self.shared.nodes.read();
+            let mut idx = nodes.len();
+            for (i, slot) in nodes.iter().enumerate() {
+                if slot.is_none() {
+                    idx = i;
+                    break;
+                }
+            }
+            idx
+        };
+        if idx >= self.shared.queue_lens.len() {
+            return Err(RayError::Invalid("cluster at node capacity".into()));
+        }
+        let node = NodeId(idx as u32);
+        start_node(&self.shared, node);
+        Ok(node)
+    }
+
+    /// Number of currently live nodes.
+    pub fn live_nodes(&self) -> usize {
+        self.shared
+            .nodes
+            .read()
+            .iter()
+            .flatten()
+            .filter(|h| h.alive.load(Ordering::SeqCst))
+            .count()
+    }
+
+    // ------------------------------------------------------------------
+    // Introspection (benchmarks, tests, debugging tools).
+    // ------------------------------------------------------------------
+
+    /// The cluster's metrics registry.
+    pub fn metrics(&self) -> &MetricsRegistry {
+        self.shared.metrics()
+    }
+
+    /// The GCS (resident-bytes inspection, shard access for
+    /// failure-injection benchmarks).
+    pub fn gcs(&self) -> &Gcs {
+        &self.shared.gcs
+    }
+
+    /// The network fabric (byte counters, liveness).
+    pub fn fabric(&self) -> &Fabric {
+        &self.shared.fabric
+    }
+
+    /// One node's object store, if the node is live.
+    pub fn object_store(&self, node: NodeId) -> Option<Arc<LocalObjectStore>> {
+        self.shared.directory.get(node)
+    }
+
+    /// The configuration the cluster was started with.
+    pub fn config(&self) -> &RayConfig {
+        &self.shared.config
+    }
+
+    /// Tasks currently queued or executing somewhere in the cluster.
+    pub fn inflight_tasks(&self) -> usize {
+        self.shared.inflight.len()
+    }
+
+    /// Last-published local-scheduler queue length for a node (0 for
+    /// unknown nodes).
+    pub fn queue_len_hint(&self, node: NodeId) -> usize {
+        self.shared
+            .queue_lens
+            .get(node.index())
+            .map(|q| q.load(Ordering::Relaxed))
+            .unwrap_or(0)
+    }
+
+    /// Stops every component: nodes, actors, the global scheduler, and the
+    /// GCS. Idempotent.
+    pub fn shutdown(&self) {
+        if self.shared.shutting_down.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        let _ = self.shared.global_tx.send(GlobalMsg::Shutdown);
+        let handles: Vec<_> = {
+            let mut nodes = self.shared.nodes.write();
+            nodes.iter_mut().filter_map(|s| s.take()).collect()
+        };
+        for h in &handles {
+            h.alive.store(false, Ordering::SeqCst);
+            let _ = h.tx.send(NodeMsg::Shutdown);
+        }
+        if let Some(j) = self.global_join.lock().take() {
+            let _ = j.join();
+        }
+        // GCS shutdown unblocks any worker still waiting on fetches.
+        self.shared.gcs.shutdown();
+        for h in handles {
+            if let Some(j) = h.join.lock().take() {
+                let _ = j.join();
+            }
+        }
+    }
+}
+
+impl Drop for Cluster {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}

@@ -1,0 +1,417 @@
+//! The Ray API of paper Table 1, bound to a driver or executing task.
+//!
+//! | Paper | Here |
+//! |---|---|
+//! | `futures = f.remote(args)` | [`RayContext::submit`] / [`RayContext::call`] |
+//! | `objects = ray.get(futures)` | [`RayContext::get`] / [`RayContext::get_all`] |
+//! | `ready = ray.wait(futures, k, timeout)` | [`RayContext::wait`] |
+//! | `actor = Class.remote(args)` | [`RayContext::create_actor`] |
+//! | `futures = actor.method.remote(args)` | [`RayContext::call_actor`] |
+//!
+//! Every context belongs to a node (the driver's, or the node executing
+//! the current task) and carries the current task's ID so nested
+//! submissions derive deterministic child task IDs — the property replay
+//! depends on.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use bytes::Bytes;
+use crossbeam_channel::Sender;
+use serde::de::DeserializeOwned;
+use serde::Serialize;
+
+use ray_common::{ActorId, FunctionId, NodeId, ObjectId, RayError, RayResult, TaskId};
+
+use crate::lineage::{ensure_object_at_deadline, DEFAULT_GET_DEADLINE};
+use crate::runtime::{check_error_object, NodeMsg, RuntimeShared};
+use crate::task::{Arg, ObjectRef, TaskKind, TaskOptions, TaskSpec};
+
+
+/// A handle to a remote actor. Cloneable; clones address the same actor.
+#[derive(Debug, Clone)]
+pub struct ActorHandle {
+    actor: ActorId,
+    creation: ObjectId,
+}
+
+impl ActorHandle {
+    /// The actor's ID.
+    pub fn id(&self) -> ActorId {
+        self.actor
+    }
+
+    /// Rebuilds a handle from its parts. Handles are passed between tasks
+    /// and actors as `(actor_id, creation_object)` pairs (paper §3.1: "a
+    /// handle to an actor can be passed to other actors or tasks").
+    pub fn from_parts(actor: ActorId, creation: ObjectId) -> ActorHandle {
+        ActorHandle { actor, creation }
+    }
+
+    /// A future resolving once the actor finished construction.
+    pub fn ready(&self) -> ObjectRef<ActorId> {
+        ObjectRef::from_id(self.creation)
+    }
+}
+
+/// API entry point for a driver or an executing task (paper Table 1).
+pub struct RayContext {
+    shared: Arc<RuntimeShared>,
+    node: NodeId,
+    task: TaskId,
+    child_counter: AtomicU64,
+    put_counter: AtomicU64,
+    worker_slot: Option<(Sender<NodeMsg>, usize)>,
+}
+
+impl RayContext {
+    pub(crate) fn for_task(
+        shared: Arc<RuntimeShared>,
+        node: NodeId,
+        task: TaskId,
+        worker_slot: Option<(Sender<NodeMsg>, usize)>,
+    ) -> RayContext {
+        RayContext {
+            shared,
+            node,
+            task,
+            child_counter: AtomicU64::new(0),
+            put_counter: AtomicU64::new(0),
+            worker_slot,
+        }
+    }
+
+    pub(crate) fn for_driver(shared: Arc<RuntimeShared>, node: NodeId) -> RayContext {
+        let n = shared.driver_counter.fetch_add(1, Ordering::Relaxed);
+        let task = TaskId::for_child(TaskId::NIL, n);
+        RayContext::for_task(shared, node, task, None)
+    }
+
+    /// The node this context runs on.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// The current task's ID (a synthetic root for drivers).
+    pub fn task_id(&self) -> TaskId {
+        self.task
+    }
+
+    fn next_child(&self) -> TaskId {
+        TaskId::for_child(self.task, self.child_counter.fetch_add(1, Ordering::Relaxed))
+    }
+
+    // ------------------------------------------------------------------
+    // put / get / wait.
+    // ------------------------------------------------------------------
+
+    /// Stores a value in the local object store and returns a future for
+    /// it. `put` objects carry no lineage: if every replica is lost they
+    /// cannot be reconstructed (paper §4.2.3 reconstructs task outputs).
+    pub fn put<T: Serialize + ?Sized>(&self, value: &T) -> RayResult<ObjectRef<T>>
+    where
+        T: Sized,
+    {
+        let bytes = ray_codec::encode_bytes(value).map_err(RayError::from)?;
+        Ok(ObjectRef::from_id(self.put_raw(bytes)?))
+    }
+
+    /// Stores raw payload bytes, returning the new object's ID.
+    pub fn put_raw(&self, data: Bytes) -> RayResult<ObjectId> {
+        let id = ObjectId::for_put(self.task, self.put_counter.fetch_add(1, Ordering::Relaxed));
+        let handle = self.shared.node(self.node).ok_or(RayError::NodeDead(self.node))?;
+        let size = data.len() as u64;
+        let outcome = handle.store.put(id, data)?;
+        for (dropped, dsize) in outcome.dropped {
+            let _ = self.shared.gcs_client.remove_object_location(dropped, self.node, dsize);
+        }
+        self.shared.gcs_client.add_object_location(id, self.node, size)?;
+        Ok(id)
+    }
+
+    /// Blocking `ray.get`: returns the value of a future, replicating it
+    /// locally (and reconstructing it via lineage) as needed.
+    pub fn get<T: DeserializeOwned>(&self, r: &ObjectRef<T>) -> RayResult<T> {
+        self.get_with_timeout(r, DEFAULT_GET_DEADLINE)
+    }
+
+    /// `get` with an explicit deadline.
+    pub fn get_with_timeout<T: DeserializeOwned>(
+        &self,
+        r: &ObjectRef<T>,
+        timeout: Duration,
+    ) -> RayResult<T> {
+        let data = self.get_raw(r.id(), timeout)?;
+        ray_codec::decode(&data).map_err(RayError::from)
+    }
+
+    /// `get` returning the raw payload.
+    pub fn get_raw(&self, id: ObjectId, timeout: Duration) -> RayResult<Bytes> {
+        let _guard = self.block_guard();
+        let data = ensure_object_at_deadline(&self.shared, id, self.node, timeout)?;
+        if let Some(err) = check_error_object(&data) {
+            return Err(err);
+        }
+        Ok(data)
+    }
+
+    /// Convenience: `get` every future in order.
+    pub fn get_all<T: DeserializeOwned>(&self, refs: &[ObjectRef<T>]) -> RayResult<Vec<T>> {
+        refs.iter().map(|r| self.get(r)).collect()
+    }
+
+    /// Explicitly frees objects the application has finished with: every
+    /// replica is dropped from its store (memory and spill) and the GCS
+    /// location entries are removed. Lineage is kept, so a freed task
+    /// output can still be reconstructed if someone asks for it again.
+    ///
+    /// This is Ray's `ray.internal.free`: long-lived applications that
+    /// create large intermediates (e.g. allreduce chunks) use it to bound
+    /// store growth instead of waiting for LRU pressure.
+    pub fn free(&self, ids: &[ObjectId]) -> RayResult<()> {
+        for &id in ids {
+            for loc in self.shared.gcs_client.get_object_locations(id)? {
+                if let Some(store) = self.shared.directory.get(loc.node) {
+                    store.delete(id);
+                }
+                let _ = self.shared.gcs_client.remove_object_location(id, loc.node, loc.size);
+            }
+        }
+        Ok(())
+    }
+
+    /// `ray.wait`: blocks until `num_ready` of the given objects are
+    /// available anywhere in the cluster, or the timeout expires. Returns
+    /// `(ready, pending)` in first-ready order (paper §3.1: added to
+    /// "accommodate rollouts with heterogeneous durations").
+    ///
+    /// Event-driven: registers callbacks with the GCS object table
+    /// (Fig. 7b step 2) rather than polling, so waiting on many futures
+    /// costs nothing until they complete.
+    pub fn wait(
+        &self,
+        ids: &[ObjectId],
+        num_ready: usize,
+        timeout: Duration,
+    ) -> RayResult<(Vec<ObjectId>, Vec<ObjectId>)> {
+        use ray_gcs::kv::Entry;
+
+        let _guard = self.block_guard();
+        let deadline = Instant::now() + timeout;
+        let mut pending: std::collections::HashSet<ObjectId> = ids.iter().copied().collect();
+        // Duplicate ids collapse; cap the goal at the unique count.
+        let want = num_ready.min(pending.len());
+        let mut ready: Vec<ObjectId> = Vec::with_capacity(want);
+
+        // One channel multiplexes every object's notifications; the
+        // subscribe op itself delivers a snapshot for entries that already
+        // exist, so there is no check-then-subscribe race.
+        let (tx, rx) = crossbeam_channel::unbounded();
+        let mut subs: Vec<(ObjectId, u64)> = Vec::with_capacity(ids.len());
+        for &id in pending.iter() {
+            let sub_id = self.shared.gcs_client.subscribe_object_shared(id, tx.clone())?;
+            subs.push((id, sub_id));
+        }
+
+        while ready.len() < want {
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            if remaining.is_zero() {
+                break;
+            }
+            let Ok(notification) = rx.recv_timeout(remaining) else { break };
+            let created = matches!(&notification.entry, Some(Entry::Set(s)) if !s.is_empty());
+            if !created {
+                continue;
+            }
+            let Ok(raw) = <[u8; 16]>::try_from(notification.key.id.as_slice()) else {
+                continue;
+            };
+            let id = ObjectId::from_bytes(raw);
+            if pending.remove(&id) {
+                ready.push(id);
+            }
+        }
+
+        for (id, sub_id) in subs {
+            let _ = self.shared.gcs_client.unsubscribe_object(id, sub_id);
+        }
+        // Preserve the caller's order among still-pending ids.
+        let pending_ordered: Vec<ObjectId> =
+            ids.iter().copied().filter(|id| pending.contains(id)).collect();
+        Ok((ready, pending_ordered))
+    }
+
+    /// Typed wrapper over [`Self::wait`].
+    pub fn wait_refs<T>(
+        &self,
+        refs: &[ObjectRef<T>],
+        num_ready: usize,
+        timeout: Duration,
+    ) -> RayResult<(Vec<ObjectRef<T>>, Vec<ObjectRef<T>>)> {
+        let ids: Vec<ObjectId> = refs.iter().map(|r| r.id()).collect();
+        let (ready, pending) = self.wait(&ids, num_ready, timeout)?;
+        Ok((
+            ready.into_iter().map(ObjectRef::from_id).collect(),
+            pending.into_iter().map(ObjectRef::from_id).collect(),
+        ))
+    }
+
+    // ------------------------------------------------------------------
+    // Remote functions.
+    // ------------------------------------------------------------------
+
+    /// `f.remote(args)`: submits a task for the registered function
+    /// `name`, returning futures for its outputs. Non-blocking.
+    pub fn submit(&self, name: &str, args: Vec<Arg>, opts: TaskOptions) -> RayResult<Vec<ObjectId>> {
+        let spec = TaskSpec {
+            task: self.next_child(),
+            kind: TaskKind::Normal,
+            function: FunctionId::for_name(name),
+            function_name: name.to_string(),
+            args,
+            num_returns: opts.num_returns.unwrap_or(1),
+            demand: opts.demand,
+        };
+        let returns = spec.return_ids();
+        self.shared.submit(self.node, spec)?;
+        Ok(returns)
+    }
+
+    /// Typed single-return submission.
+    pub fn call<R>(&self, name: &str, args: Vec<Arg>) -> RayResult<ObjectRef<R>> {
+        self.call_opts(name, args, TaskOptions::default())
+    }
+
+    /// Typed single-return submission with options (resources etc.).
+    pub fn call_opts<R>(
+        &self,
+        name: &str,
+        args: Vec<Arg>,
+        opts: TaskOptions,
+    ) -> RayResult<ObjectRef<R>> {
+        let mut opts = opts;
+        opts.num_returns = Some(1);
+        let ids = self.submit(name, args, opts)?;
+        Ok(ObjectRef::from_id(ids[0]))
+    }
+
+    // ------------------------------------------------------------------
+    // Actors.
+    // ------------------------------------------------------------------
+
+    /// `Class.remote(args)`: instantiates an actor (non-blocking) and
+    /// returns a handle. The creation task is scheduled like any other,
+    /// honoring `opts.demand` (e.g. `@ray.remote(num_gpus=1)` actors).
+    pub fn create_actor(
+        &self,
+        class: &str,
+        args: Vec<Arg>,
+        opts: TaskOptions,
+    ) -> RayResult<ActorHandle> {
+        let actor = ActorId::random();
+        self.shared.actors.register_pending(actor);
+        let spec = TaskSpec {
+            task: self.next_child(),
+            kind: TaskKind::ActorCreation { actor },
+            function: FunctionId::for_name(class),
+            function_name: class.to_string(),
+            args,
+            num_returns: 1,
+            demand: opts.demand,
+        };
+        let creation = spec.return_ids()[0];
+        self.shared.submit(self.node, spec)?;
+        Ok(ActorHandle { actor, creation })
+    }
+
+    /// `actor.method.remote(args)`: invokes a method, returning a single
+    /// typed future. Non-blocking; methods on one actor execute serially
+    /// in submission order (stateful edges, §3.2).
+    pub fn call_actor<R>(
+        &self,
+        handle: &ActorHandle,
+        method: &str,
+        args: Vec<Arg>,
+    ) -> RayResult<ObjectRef<R>> {
+        let ids = self.call_actor_multi(handle, method, args, 1)?;
+        Ok(ObjectRef::from_id(ids[0]))
+    }
+
+    /// Invokes a method the caller declares read-only: it executes in the
+    /// same serial order but adds no stateful edge — it is not logged and
+    /// not replayed during reconstruction (the paper's §5.1 future-work
+    /// annotation for reducing actor reconstruction time). The caller is
+    /// responsible for the method really being state-free; its result is
+    /// also not individually reconstructable.
+    pub fn call_actor_readonly<R>(
+        &self,
+        handle: &ActorHandle,
+        method: &str,
+        args: Vec<Arg>,
+    ) -> RayResult<ObjectRef<R>> {
+        let ids = self.call_actor_inner(handle, method, args, 1, true)?;
+        Ok(ObjectRef::from_id(ids[0]))
+    }
+
+    /// Actor method invocation with multiple return objects.
+    pub fn call_actor_multi(
+        &self,
+        handle: &ActorHandle,
+        method: &str,
+        args: Vec<Arg>,
+        num_returns: u64,
+    ) -> RayResult<Vec<ObjectId>> {
+        self.call_actor_inner(handle, method, args, num_returns, false)
+    }
+
+    fn call_actor_inner(
+        &self,
+        handle: &ActorHandle,
+        method: &str,
+        args: Vec<Arg>,
+        num_returns: u64,
+        read_only: bool,
+    ) -> RayResult<Vec<ObjectId>> {
+        let spec = TaskSpec {
+            task: self.next_child(),
+            kind: TaskKind::ActorMethod {
+                actor: handle.actor,
+                method: method.to_string(),
+                read_only,
+            },
+            function: FunctionId::for_name(method),
+            function_name: method.to_string(),
+            args,
+            num_returns,
+            demand: ray_common::Resources::none(),
+        };
+        let returns = spec.return_ids();
+        self.shared.metrics.counter(ray_common::metrics::names::TASKS_SUBMITTED).inc();
+        // Lineage first: the method log + task table entry are what replay
+        // reads (Fig. 4's stateful-edge chain). Read-only calls skip it.
+        if !read_only {
+            self.shared.record_lineage(&spec)?;
+        }
+        self.shared.actors.invoke(handle.actor, spec)?;
+        Ok(returns)
+    }
+
+    fn block_guard(&self) -> Option<BlockGuard<'_>> {
+        self.worker_slot.as_ref().map(|(tx, idx)| {
+            let _ = tx.send(NodeMsg::WorkerBlocked { worker: *idx });
+            BlockGuard { tx, worker: *idx }
+        })
+    }
+}
+
+struct BlockGuard<'a> {
+    tx: &'a Sender<NodeMsg>,
+    worker: usize,
+}
+
+impl Drop for BlockGuard<'_> {
+    fn drop(&mut self) {
+        let _ = self.tx.send(NodeMsg::WorkerUnblocked { worker: self.worker });
+    }
+}

@@ -1,0 +1,104 @@
+//! The global scheduler thread.
+//!
+//! Receives tasks spilled by local schedulers, asks the placement engine
+//! ([`ray_scheduler::GlobalScheduler`]) for a node, and hands the task to
+//! that node's local scheduler. Unplaceable tasks (no live node can
+//! satisfy the demand) are retried as heartbeats change the cluster view —
+//! this is what lets a GPU task submitted before any GPU node joins
+//! eventually run.
+
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crossbeam_channel::{Receiver, RecvTimeoutError};
+
+use ray_common::NodeId;
+use ray_scheduler::TaskDescriptor;
+
+use crate::runtime::{GlobalMsg, RuntimeShared};
+use crate::task::TaskSpec;
+
+/// Retry cadence for tasks that could not be placed.
+const RETRY_EVERY: Duration = Duration::from_millis(5);
+
+/// Spawns the global scheduler thread.
+pub(crate) fn start_global(
+    shared: Arc<RuntimeShared>,
+    rx: Receiver<GlobalMsg>,
+) -> JoinHandle<()> {
+    std::thread::Builder::new()
+        .name("global-scheduler".into())
+        .spawn(move || global_loop(shared, rx))
+        .expect("spawn global scheduler")
+}
+
+fn global_loop(shared: Arc<RuntimeShared>, rx: Receiver<GlobalMsg>) {
+    let mut pending: Vec<(TaskSpec, NodeId)> = Vec::new();
+    // With injected decision latency (Fig. 12b), decisions run on spawned
+    // threads so concurrent tasks each pay the latency without serializing
+    // behind one scheduler thread — the paper's global scheduler is
+    // replicated ("we can instantiate more replicas").
+    let delayed = !shared.config.scheduler.added_decision_delay.is_zero();
+    loop {
+        match rx.recv_timeout(RETRY_EVERY) {
+            Ok(GlobalMsg::Forward(spec, from)) => {
+                if delayed {
+                    let shared = shared.clone();
+                    std::thread::spawn(move || {
+                        let mut item = Some((spec, from));
+                        while let Some((spec, from)) = item.take() {
+                            item = try_place(&shared, spec, from);
+                            if item.is_some() {
+                                std::thread::sleep(RETRY_EVERY);
+                            }
+                        }
+                    });
+                } else if let Some(unplaced) = try_place(&shared, spec, from) {
+                    pending.push(unplaced);
+                }
+            }
+            Ok(GlobalMsg::Shutdown) | Err(RecvTimeoutError::Disconnected) => return,
+            Err(RecvTimeoutError::Timeout) => {}
+        }
+        if !pending.is_empty() {
+            let batch = std::mem::take(&mut pending);
+            for (spec, from) in batch {
+                if let Some(unplaced) = try_place(&shared, spec, from) {
+                    pending.push(unplaced);
+                }
+            }
+        }
+    }
+}
+
+/// Attempts one placement; returns the task back if it could not be placed
+/// (to be retried) — either no feasible node exists right now, or the
+/// chosen node died between decision and delivery.
+fn try_place(
+    shared: &Arc<RuntimeShared>,
+    spec: TaskSpec,
+    from: NodeId,
+) -> Option<(TaskSpec, NodeId)> {
+    let desc = TaskDescriptor {
+        task: spec.task,
+        demand: spec.demand.clone(),
+        inputs: spec.input_ids(),
+        submitted_from: from,
+    };
+    match shared.global.place(&desc) {
+        Ok(Some(node)) => {
+            match shared.place_on(node, spec.clone()) {
+                Ok(()) => None,
+                Err(_) => {
+                    // The chosen node died in the decision→delivery window:
+                    // update the shared view and retry elsewhere.
+                    shared.load.mark_dead(node);
+                    Some((spec, from))
+                }
+            }
+        }
+        Ok(None) => Some((spec, from)),
+        Err(_) => Some((spec, from)), // GCS hiccup; retry.
+    }
+}

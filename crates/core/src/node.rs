@@ -1,0 +1,245 @@
+//! Per-node local scheduler: queueing, resource accounting, worker pool.
+//!
+//! The local scheduler is the first stop for every task created on its
+//! node (bottom-up scheduling, §4.2.2). It keeps a ready queue, acquires
+//! resources before dispatch, feeds heartbeats to the load table, and
+//! grows its worker pool when workers block inside `get` — the mechanism
+//! that lets nested remote calls (e.g. `train_policy` in paper Fig. 3)
+//! wait on children without deadlocking the node.
+
+use std::collections::{HashSet, VecDeque};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use crossbeam_channel::{unbounded, RecvTimeoutError};
+use parking_lot::Mutex;
+
+use ray_common::NodeId;
+use ray_scheduler::{NodeLoad, ResourceLedger};
+use ray_object_store::store::LocalObjectStore;
+
+use crate::runtime::{GlobalMsg, NodeHandle, NodeMsg, RuntimeShared};
+use crate::task::TaskSpec;
+use crate::worker::{WorkerHandle, WorkerMsg};
+
+/// How many queued tasks the dispatcher scans past a blocked head-of-line
+/// entry (limited out-of-order dispatch, like Ray's dispatch of whichever
+/// ready task fits).
+const DISPATCH_SCAN: usize = 16;
+
+/// The automatic per-node affinity resource: a task or actor demanding
+/// `node_affinity(n)` can only be placed on node `n` (like Ray's per-node
+/// custom resources). Every node advertises a large quantity of its own.
+pub fn node_affinity(node: NodeId) -> ray_common::Resources {
+    ray_common::Resources::none().with_custom(&format!("node:{}", node.0), 1.0)
+}
+
+fn node_capacity(shared: &RuntimeShared, node: NodeId) -> ray_common::Resources {
+    shared
+        .config
+        .node_resources
+        .clone()
+        .with_custom(&format!("node:{}", node.0), 1_000_000.0)
+}
+
+/// Starts a node: object store, ledger, local scheduler thread, worker
+/// pool. Registers the node everywhere it must be visible (store
+/// directory, GCS client table, load table) and inserts the handle into
+/// `shared.nodes`.
+pub(crate) fn start_node(shared: &Arc<RuntimeShared>, node: NodeId) -> Arc<NodeHandle> {
+    let store = Arc::new(LocalObjectStore::new(node, &shared.config.object_store));
+    let ledger = Arc::new(ResourceLedger::new(node_capacity(shared, node)));
+    let alive = Arc::new(AtomicBool::new(true));
+    let (tx, rx) = unbounded::<NodeMsg>();
+
+    shared.directory.register(store.clone());
+    let _ = shared.gcs_client.register_node(node);
+    shared.fabric.revive_node(node);
+    shared.load.heartbeat(NodeLoad {
+        node,
+        queue_len: 0,
+        available: ledger.available(),
+        capacity: ledger.capacity().clone(),
+        alive: true,
+    });
+
+    let handle = Arc::new(NodeHandle {
+        node,
+        tx: tx.clone(),
+        store,
+        ledger: ledger.clone(),
+        alive: alive.clone(),
+        join: Mutex::new(None),
+    });
+
+    {
+        let mut nodes = shared.nodes.write();
+        if nodes.len() <= node.index() {
+            nodes.resize_with(node.index() + 1, || None);
+        }
+        nodes[node.index()] = Some(handle.clone());
+    }
+
+    let shared2 = shared.clone();
+    let join = std::thread::Builder::new()
+        .name(format!("local-scheduler-{node}"))
+        .spawn(move || scheduler_loop(shared2, node, rx, tx, ledger, alive))
+        .expect("spawn local scheduler");
+    *handle.join.lock() = Some(join);
+    handle
+}
+
+struct Pool {
+    workers: Vec<WorkerHandle>,
+    idle: Vec<usize>,
+    blocked: HashSet<usize>,
+    base: usize,
+    max: usize,
+}
+
+impl Pool {
+    /// Picks a worker for dispatch, growing the pool when appropriate:
+    /// up to `base` workers freely, and beyond `base` only to keep `base`
+    /// runnable (non-blocked) workers available while others sit in
+    /// blocking `get`s.
+    fn pick(
+        &mut self,
+        shared: &Arc<RuntimeShared>,
+        node: NodeId,
+        node_tx: &crossbeam_channel::Sender<NodeMsg>,
+    ) -> Option<usize> {
+        if let Some(i) = self.idle.pop() {
+            return Some(i);
+        }
+        let runnable = self.workers.len() - self.blocked.len();
+        let may_grow =
+            self.workers.len() < self.base || (runnable < self.base && self.workers.len() < self.max);
+        if may_grow {
+            let idx = self.workers.len();
+            self.workers.push(WorkerHandle::spawn(shared.clone(), node, idx, node_tx.clone()));
+            return Some(idx);
+        }
+        None
+    }
+}
+
+fn scheduler_loop(
+    shared: Arc<RuntimeShared>,
+    node: NodeId,
+    rx: crossbeam_channel::Receiver<NodeMsg>,
+    tx: crossbeam_channel::Sender<NodeMsg>,
+    ledger: Arc<ResourceLedger>,
+    alive: Arc<AtomicBool>,
+) {
+    let base = shared.config.workers_per_node;
+    let mut pool = Pool {
+        workers: Vec::new(),
+        idle: Vec::new(),
+        blocked: HashSet::new(),
+        base,
+        max: base * 8 + 4,
+    };
+    let mut ready: VecDeque<TaskSpec> = VecDeque::new();
+    let heartbeat_every = shared.config.scheduler.heartbeat_interval;
+    let mut last_heartbeat = Instant::now();
+
+    loop {
+        let msg = rx.recv_timeout(heartbeat_every);
+        match msg {
+            Ok(NodeMsg::Submit(spec)) | Ok(NodeMsg::Placed(spec)) => {
+                if !ledger.feasible(&spec.demand) {
+                    // Capacity can never satisfy this task here (stale
+                    // placement after a reconfiguration): bounce to the
+                    // global scheduler rather than wedging the queue.
+                    let _ = shared.global_tx.send(GlobalMsg::Forward(spec, node));
+                } else {
+                    ready.push_back(spec);
+                }
+            }
+            Ok(NodeMsg::WorkerDone { worker, demand, duration_ms }) => {
+                ledger.release(&demand);
+                pool.blocked.remove(&worker);
+                pool.idle.push(worker);
+                shared.load.observe_task_duration(node, duration_ms);
+            }
+            Ok(NodeMsg::WorkerBlocked { worker }) => {
+                pool.blocked.insert(worker);
+            }
+            Ok(NodeMsg::WorkerUnblocked { worker }) => {
+                pool.blocked.remove(&worker);
+            }
+            Ok(NodeMsg::Shutdown) | Err(RecvTimeoutError::Disconnected) => break,
+            Err(RecvTimeoutError::Timeout) => {}
+        }
+
+        dispatch(&shared, node, &tx, &ledger, &mut ready, &mut pool);
+        shared.queue_lens[node.index()].store(ready.len(), Ordering::Relaxed);
+
+        if last_heartbeat.elapsed() >= heartbeat_every {
+            shared.load.heartbeat(NodeLoad {
+                node,
+                queue_len: ready.len(),
+                available: ledger.available(),
+                capacity: ledger.capacity().clone(),
+                alive: alive.load(Ordering::SeqCst),
+            });
+            last_heartbeat = Instant::now();
+        }
+        if !alive.load(Ordering::SeqCst) {
+            break;
+        }
+    }
+
+    // Drain: stop workers. Tasks still queued are lost with the node;
+    // lineage reconstruction recovers their outputs if anyone needs them.
+    for w in &mut pool.workers {
+        let _ = w.tx.send(WorkerMsg::Stop);
+    }
+    for w in &mut pool.workers {
+        if let Some(j) = w.join.take() {
+            let _ = j.join();
+        }
+    }
+}
+
+fn dispatch(
+    shared: &Arc<RuntimeShared>,
+    node: NodeId,
+    tx: &crossbeam_channel::Sender<NodeMsg>,
+    ledger: &Arc<ResourceLedger>,
+    ready: &mut VecDeque<TaskSpec>,
+    pool: &mut Pool,
+) {
+    loop {
+        // Find the first task (within a bounded scan) whose resources are
+        // available right now.
+        let mut chosen: Option<usize> = None;
+        for (i, spec) in ready.iter().enumerate().take(DISPATCH_SCAN) {
+            if ledger.try_acquire(&spec.demand) {
+                chosen = Some(i);
+                break;
+            }
+        }
+        let Some(i) = chosen else { return };
+        // Resources are held; now find a worker.
+        let spec = ready.remove(i).expect("index in range");
+        let demand = spec.demand.clone();
+        match pool.pick(shared, node, tx) {
+            Some(w) => {
+                if pool.workers[w].tx.send(WorkerMsg::Run(spec)).is_err() {
+                    // Worker died (shutdown race); put resources back.
+                    ledger.release(&demand);
+                    return;
+                }
+            }
+            None => {
+                // No worker available: release, requeue, wait for a
+                // completion message.
+                ledger.release(&demand);
+                ready.push_front(spec);
+                return;
+            }
+        }
+    }
+}

@@ -1,0 +1,347 @@
+//! Shared runtime state and the task submission path.
+//!
+//! Everything a node, worker, actor host, or driver needs hangs off one
+//! [`RuntimeShared`]: the GCS client, the object-store directory and
+//! transfer manager, the load table and global-scheduler channel, node
+//! handles, the function registry, and the in-flight task table.
+//!
+//! The submission path implements the bottom-up rule end-to-end: record
+//! lineage in the GCS, consult the local decision
+//! ([`ray_scheduler::decide_local`]), and either enqueue on the local
+//! scheduler or forward to the global scheduler (paper Fig. 6).
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use bytes::Bytes;
+use crossbeam_channel::Sender;
+use parking_lot::{Mutex, RwLock};
+
+use ray_common::metrics::{names, MetricsRegistry};
+use ray_common::{NodeId, ObjectId, RayConfig, RayError, RayResult, Resources, TaskId};
+use ray_gcs::tables::GcsClient;
+use ray_gcs::Gcs;
+use ray_object_store::store::LocalObjectStore;
+use ray_object_store::transfer::{StoreDirectory, TransferManager};
+use ray_scheduler::{decide_local, GlobalScheduler, LoadTable, LocalDecision, ResourceLedger};
+use ray_transport::Fabric;
+
+use crate::actor::ActorRouter;
+use crate::registry::FunctionRegistry;
+use crate::task::{TaskKind, TaskSpec};
+
+/// Messages processed by a node's local scheduler thread.
+pub(crate) enum NodeMsg {
+    /// A task submitted at this node (bottom-up entry point).
+    Submit(TaskSpec),
+    /// A task placed here by the global scheduler; the local scheduler
+    /// must keep it (resources were checked against capacity).
+    Placed(TaskSpec),
+    /// A worker finished a task.
+    WorkerDone {
+        /// Worker slot index.
+        worker: usize,
+        /// Resources to release.
+        demand: Resources,
+        /// Observed duration in milliseconds (feeds the EWMA).
+        duration_ms: f64,
+    },
+    /// A worker entered a blocking `get`/`wait`; it no longer counts as
+    /// busy for worker-pool growth.
+    WorkerBlocked {
+        /// Worker slot index.
+        worker: usize,
+    },
+    /// The worker resumed.
+    WorkerUnblocked {
+        /// Worker slot index.
+        worker: usize,
+    },
+    /// Stop the node.
+    Shutdown,
+}
+
+/// Messages processed by the global-scheduler thread.
+pub(crate) enum GlobalMsg {
+    /// A task forwarded by some node's local scheduler.
+    Forward(TaskSpec, NodeId),
+    /// Stop the thread.
+    Shutdown,
+}
+
+/// Handle to one running node.
+pub(crate) struct NodeHandle {
+    pub node: NodeId,
+    pub tx: Sender<NodeMsg>,
+    pub store: Arc<LocalObjectStore>,
+    pub ledger: Arc<ResourceLedger>,
+    pub alive: Arc<AtomicBool>,
+    pub join: Mutex<Option<JoinHandle<()>>>,
+}
+
+/// Sharded task → assigned-node table, used to decide whether a missing
+/// object's producer is still running somewhere live (reconstruction
+/// gating).
+pub(crate) struct InflightTable {
+    shards: Vec<Mutex<HashMap<TaskId, NodeId>>>,
+}
+
+impl InflightTable {
+    pub fn new() -> InflightTable {
+        InflightTable { shards: (0..16).map(|_| Mutex::new(HashMap::new())).collect() }
+    }
+
+    fn shard(&self, task: TaskId) -> &Mutex<HashMap<TaskId, NodeId>> {
+        &self.shards[(task.digest() % 16) as usize]
+    }
+
+    pub fn insert(&self, task: TaskId, node: NodeId) {
+        self.shard(task).lock().insert(task, node);
+    }
+
+    pub fn remove(&self, task: TaskId) {
+        self.shard(task).lock().remove(&task);
+    }
+
+    pub fn node_of(&self, task: TaskId) -> Option<NodeId> {
+        self.shard(task).lock().get(&task).copied()
+    }
+
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().len()).sum()
+    }
+}
+
+/// The shared spine of one simulated cluster.
+pub struct RuntimeShared {
+    pub(crate) config: RayConfig,
+    pub(crate) metrics: MetricsRegistry,
+    pub(crate) fabric: Fabric,
+    pub(crate) gcs: Gcs,
+    pub(crate) gcs_client: GcsClient,
+    pub(crate) registry: FunctionRegistry,
+    pub(crate) directory: StoreDirectory,
+    pub(crate) transfer: TransferManager,
+    pub(crate) load: Arc<LoadTable>,
+    pub(crate) global: GlobalScheduler,
+    pub(crate) global_tx: Sender<GlobalMsg>,
+    pub(crate) nodes: RwLock<Vec<Option<Arc<NodeHandle>>>>,
+    pub(crate) queue_lens: Vec<AtomicUsize>,
+    pub(crate) inflight: InflightTable,
+    pub(crate) actors: ActorRouter,
+    pub(crate) shutting_down: AtomicBool,
+    pub(crate) driver_counter: AtomicU64,
+}
+
+impl RuntimeShared {
+    /// A live node handle, if the node exists and is alive.
+    pub(crate) fn node(&self, node: NodeId) -> Option<Arc<NodeHandle>> {
+        let nodes = self.nodes.read();
+        let h = nodes.get(node.index())?.clone()?;
+        if h.alive.load(Ordering::SeqCst) {
+            Some(h)
+        } else {
+            None
+        }
+    }
+
+    /// Any live node, preferring `hint`.
+    pub(crate) fn any_live_node(&self, hint: NodeId) -> Option<Arc<NodeHandle>> {
+        if let Some(h) = self.node(hint) {
+            return Some(h);
+        }
+        let nodes = self.nodes.read();
+        nodes
+            .iter()
+            .flatten()
+            .find(|h| h.alive.load(Ordering::SeqCst))
+            .cloned()
+    }
+
+    /// Records lineage for a task: the spec in the task table plus the
+    /// inverse edges from each return object (skipped when lineage is
+    /// disabled — the Fig. 8b ablation knob).
+    pub(crate) fn record_lineage(&self, spec: &TaskSpec) -> RayResult<()> {
+        if !self.config.fault.lineage_enabled {
+            return Ok(());
+        }
+        self.gcs_client.put_task(spec.task, Bytes::from(spec.encode()?))?;
+        for id in spec.return_ids() {
+            self.gcs_client.put_object_lineage(id, spec.task)?;
+        }
+        Ok(())
+    }
+
+    /// The bottom-up submission entry point: lineage, local decision, then
+    /// enqueue-or-forward (paper Fig. 6).
+    pub(crate) fn submit(&self, from: NodeId, spec: TaskSpec) -> RayResult<()> {
+        debug_assert!(
+            !matches!(spec.kind, TaskKind::ActorMethod { .. }),
+            "actor methods route through the actor router, not the scheduler"
+        );
+        self.metrics.counter(names::TASKS_SUBMITTED).inc();
+        self.record_lineage(&spec)?;
+        self.dispatch_for_scheduling(from, spec)
+    }
+
+    /// Re-submission path used by lineage reconstruction (lineage is
+    /// already recorded; do not double-write it).
+    pub(crate) fn resubmit(&self, from: NodeId, spec: TaskSpec) -> RayResult<()> {
+        self.metrics.counter(names::TASKS_REEXECUTED).inc();
+        self.dispatch_for_scheduling(from, spec)
+    }
+
+    fn dispatch_for_scheduling(&self, from: NodeId, spec: TaskSpec) -> RayResult<()> {
+        let handle = self.any_live_node(from).ok_or(RayError::Shutdown(
+            "no live nodes in cluster".to_string(),
+        ))?;
+        let node = handle.node;
+        let queue_len = self.queue_lens[node.index()].load(Ordering::Relaxed);
+        let decision = decide_local(
+            self.config.scheduler.policy,
+            &handle.ledger,
+            queue_len,
+            self.config.scheduler.spillover_threshold,
+            &spec.demand,
+        );
+        match decision {
+            LocalDecision::KeepLocal => {
+                self.metrics.counter(names::TASKS_LOCAL).inc();
+                self.inflight.insert(spec.task, node);
+                handle
+                    .tx
+                    .send(NodeMsg::Submit(spec))
+                    .map_err(|_| RayError::NodeDead(node))?;
+            }
+            LocalDecision::Forward => {
+                self.metrics.counter(names::TASKS_SPILLED).inc();
+                self.global_tx
+                    .send(GlobalMsg::Forward(spec, node))
+                    .map_err(|_| RayError::Shutdown("global scheduler stopped".into()))?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Places a task on a specific node (used by the global scheduler
+    /// thread after a placement decision).
+    pub(crate) fn place_on(&self, node: NodeId, spec: TaskSpec) -> RayResult<()> {
+        let handle = self.node(node).ok_or(RayError::NodeDead(node))?;
+        self.inflight.insert(spec.task, node);
+        handle.tx.send(NodeMsg::Placed(spec)).map_err(|_| RayError::NodeDead(node))
+    }
+
+    /// Whether the producer of a task is believed to still be running on a
+    /// live node.
+    pub(crate) fn task_running_on_live_node(&self, task: TaskId) -> bool {
+        match self.inflight.node_of(task) {
+            Some(node) => self.fabric.is_alive(node),
+            None => false,
+        }
+    }
+
+    /// Stores task outputs into a node's local store and publishes their
+    /// locations (Fig. 7b steps 3–4). During replays, existing objects are
+    /// left untouched (deterministic functions recompute identical bytes;
+    /// see paper §7 "deterministic replay").
+    pub(crate) fn store_results(
+        &self,
+        node: NodeId,
+        spec: &TaskSpec,
+        outputs: Vec<Bytes>,
+    ) -> RayResult<()> {
+        let handle = self.node(node).ok_or(RayError::NodeDead(node))?;
+        for (i, data) in outputs.into_iter().enumerate() {
+            let id = ObjectId::for_task_return(spec.task, i as u64);
+            let size = data.len() as u64;
+            match handle.store.put_nocopy(id, data) {
+                Ok(outcome) => {
+                    for (dropped, dsize) in outcome.dropped {
+                        let _ = self.gcs_client.remove_object_location(dropped, node, dsize);
+                    }
+                }
+                Err(RayError::DuplicateObject(_)) => {
+                    // Replay of a (nominally deterministic) task produced
+                    // different bytes; keep the original (immutability wins)
+                    // and move on.
+                    continue;
+                }
+                Err(e) => return Err(e),
+            }
+            self.gcs_client.add_object_location(id, node, size)?;
+        }
+        Ok(())
+    }
+
+    /// The cluster's metrics registry.
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.metrics
+    }
+}
+
+/// Builds the error-envelope payload stored as a failed task's result, so
+/// the failure propagates through futures to whoever `get`s them.
+pub(crate) fn encode_error_object(task: TaskId, message: &str) -> Bytes {
+    let mut out = Vec::with_capacity(ERROR_MAGIC.len() + 16 + message.len());
+    out.extend_from_slice(ERROR_MAGIC);
+    out.extend_from_slice(&task.0.as_bytes());
+    out.extend_from_slice(message.as_bytes());
+    Bytes::from(out)
+}
+
+/// Checks whether an object payload is an error envelope; returns the
+/// failure if so.
+pub(crate) fn check_error_object(data: &Bytes) -> Option<RayError> {
+    if data.len() < ERROR_MAGIC.len() + 16 || &data[..ERROR_MAGIC.len()] != ERROR_MAGIC {
+        return None;
+    }
+    let mut id = [0u8; 16];
+    id.copy_from_slice(&data[ERROR_MAGIC.len()..ERROR_MAGIC.len() + 16]);
+    let message = String::from_utf8_lossy(&data[ERROR_MAGIC.len() + 16..]).into_owned();
+    Some(RayError::TaskFailed { task: TaskId::from_bytes(id), message })
+}
+
+/// Magic prefix marking error envelopes. Sixteen fixed bytes make an
+/// accidental collision with user payloads vanishingly unlikely.
+const ERROR_MAGIC: &[u8; 16] = b"\x00RAY-TASK-ERR\xff\xfe\xfd";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inflight_table_basic_ops() {
+        let t = InflightTable::new();
+        let task = TaskId::random();
+        assert_eq!(t.node_of(task), None);
+        t.insert(task, NodeId(3));
+        assert_eq!(t.node_of(task), Some(NodeId(3)));
+        assert_eq!(t.len(), 1);
+        t.remove(task);
+        assert_eq!(t.node_of(task), None);
+        assert_eq!(t.len(), 0);
+    }
+
+    #[test]
+    fn error_envelope_round_trips() {
+        let task = TaskId::random();
+        let payload = encode_error_object(task, "division by zero");
+        match check_error_object(&payload) {
+            Some(RayError::TaskFailed { task: t, message }) => {
+                assert_eq!(t, task);
+                assert_eq!(message, "division by zero");
+            }
+            other => panic!("expected TaskFailed, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn normal_payloads_are_not_error_envelopes() {
+        assert!(check_error_object(&Bytes::from_static(b"hello")).is_none());
+        assert!(check_error_object(&Bytes::new()).is_none());
+        let nearly = Bytes::from_static(b"\x00RAY-TASK-ERR");
+        assert!(check_error_object(&nearly).is_none());
+    }
+}

@@ -1,0 +1,205 @@
+//! Worker processes: stateless task executors.
+//!
+//! "A stateless process that executes tasks invoked by a driver or another
+//! worker ... A worker executes tasks serially, with no local state
+//! maintained across tasks" (paper §4.1). Each worker is a thread with an
+//! inbox; it resolves the task's object arguments (replicating remote ones
+//! into the local store first, §4.2.3), runs the registered function with
+//! a [`RayContext`] for nested calls, and stores the results.
+
+use std::panic::AssertUnwindSafe;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use bytes::Bytes;
+use crossbeam_channel::{unbounded, Sender};
+
+use ray_common::metrics::names;
+use ray_common::{NodeId, RayResult};
+
+use crate::actor;
+use crate::context::RayContext;
+use crate::lineage::ensure_object_at;
+use crate::runtime::{encode_error_object, NodeMsg, RuntimeShared};
+use crate::task::{Arg, TaskKind, TaskSpec};
+
+/// Messages to a worker thread.
+pub(crate) enum WorkerMsg {
+    /// Execute one task.
+    Run(TaskSpec),
+    /// Exit.
+    Stop,
+}
+
+/// Handle to one worker thread.
+pub(crate) struct WorkerHandle {
+    pub tx: Sender<WorkerMsg>,
+    pub join: Option<JoinHandle<()>>,
+}
+
+impl WorkerHandle {
+    /// Spawns worker `index` on `node`; completions report to `node_tx`.
+    pub fn spawn(
+        shared: Arc<RuntimeShared>,
+        node: NodeId,
+        index: usize,
+        node_tx: Sender<NodeMsg>,
+    ) -> WorkerHandle {
+        let (tx, rx) = unbounded();
+        let join = std::thread::Builder::new()
+            .name(format!("worker-{node}-{index}"))
+            .spawn(move || {
+                while let Ok(msg) = rx.recv() {
+                    match msg {
+                        WorkerMsg::Run(spec) => {
+                            let start = Instant::now();
+                            let demand = spec.demand.clone();
+                            let task = spec.task;
+                            execute_task(&shared, node, Some((node_tx.clone(), index)), &spec);
+                            shared.metrics.counter(names::TASKS_EXECUTED).inc();
+                            shared.inflight.remove(task);
+                            let done = NodeMsg::WorkerDone {
+                                worker: index,
+                                demand,
+                                duration_ms: start.elapsed().as_secs_f64() * 1e3,
+                            };
+                            if node_tx.send(done).is_err() {
+                                return; // Node shut down mid-task.
+                            }
+                        }
+                        WorkerMsg::Stop => return,
+                    }
+                }
+            })
+            .expect("spawn worker thread");
+        WorkerHandle { tx, join: Some(join) }
+    }
+}
+
+/// Resolves a task's arguments to raw payloads, pulling remote objects
+/// into the local store first. `worker_slot` lets the blocking fetch
+/// notify the local scheduler (worker-pool growth; see node.rs).
+pub(crate) fn resolve_args(
+    shared: &Arc<RuntimeShared>,
+    node: NodeId,
+    worker_slot: Option<&(Sender<NodeMsg>, usize)>,
+    spec: &TaskSpec,
+) -> RayResult<Vec<Bytes>> {
+    let mut resolved = Vec::with_capacity(spec.args.len());
+    for arg in &spec.args {
+        match arg {
+            Arg::Value(v) => resolved.push(Bytes::copy_from_slice(&v.0)),
+            Arg::ObjectRef(id) => {
+                let blocked = notify_blocked(worker_slot);
+                let data = ensure_object_at(shared, *id, node);
+                drop(blocked);
+                let data = data?;
+                if let Some(err) = crate::runtime::check_error_object(&data) {
+                    // Failure propagates through data edges: a task whose
+                    // input failed fails with the same root cause.
+                    return Err(err);
+                }
+                resolved.push(data);
+            }
+        }
+    }
+    Ok(resolved)
+}
+
+struct BlockedGuard<'a>(Option<&'a (Sender<NodeMsg>, usize)>);
+
+impl Drop for BlockedGuard<'_> {
+    fn drop(&mut self) {
+        if let Some((tx, idx)) = self.0 {
+            let _ = tx.send(NodeMsg::WorkerUnblocked { worker: *idx });
+        }
+    }
+}
+
+fn notify_blocked<'a>(slot: Option<&'a (Sender<NodeMsg>, usize)>) -> BlockedGuard<'a> {
+    if let Some((tx, idx)) = slot {
+        let _ = tx.send(NodeMsg::WorkerBlocked { worker: *idx });
+    }
+    BlockedGuard(slot)
+}
+
+/// Executes one task end-to-end on `node`. Failures become error-envelope
+/// result objects so consumers observe them through `get`.
+pub(crate) fn execute_task(
+    shared: &Arc<RuntimeShared>,
+    node: NodeId,
+    worker_slot: Option<(Sender<NodeMsg>, usize)>,
+    spec: &TaskSpec,
+) {
+    let outcome = run_task_body(shared, node, worker_slot.as_ref(), spec);
+    let outputs = match outcome {
+        Ok(outputs) => {
+            if outputs.len() != spec.num_returns as usize {
+                let msg = format!(
+                    "function {} returned {} values, declared {}",
+                    spec.function_name,
+                    outputs.len(),
+                    spec.num_returns
+                );
+                (0..spec.num_returns).map(|_| encode_error_object(spec.task, &msg)).collect()
+            } else {
+                outputs.into_iter().map(Bytes::from).collect::<Vec<_>>()
+            }
+        }
+        Err(msg) => (0..spec.num_returns)
+            .map(|_| encode_error_object(spec.task, &msg))
+            .collect(),
+    };
+    if let Err(e) = shared.store_results(node, spec, outputs) {
+        // The node died under us; results are lost and will be
+        // reconstructed elsewhere if anyone needs them.
+        let _ = e;
+    }
+}
+
+fn run_task_body(
+    shared: &Arc<RuntimeShared>,
+    node: NodeId,
+    worker_slot: Option<&(Sender<NodeMsg>, usize)>,
+    spec: &TaskSpec,
+) -> Result<Vec<Vec<u8>>, String> {
+    match &spec.kind {
+        TaskKind::Normal => {
+            let f = shared
+                .registry
+                .function(spec.function)
+                .map_err(|e| e.to_string())?;
+            let args = resolve_args(shared, node, worker_slot, spec).map_err(|e| e.to_string())?;
+            let ctx = RayContext::for_task(shared.clone(), node, spec.task, worker_slot.cloned());
+            let result = std::panic::catch_unwind(AssertUnwindSafe(|| f(&ctx, &args)));
+            match result {
+                Ok(r) => r,
+                Err(panic) => Err(panic_message(panic)),
+            }
+        }
+        TaskKind::ActorCreation { actor } => {
+            // Spawn the stateful actor worker on this node; the creation
+            // task's return object is the actor ID, so creation can be
+            // awaited like any future.
+            actor::spawn_actor_here(shared, node, *actor, spec).map_err(|e| e.to_string())?;
+            let encoded = ray_codec::encode(actor).map_err(|e| e.to_string())?;
+            Ok(vec![encoded])
+        }
+        TaskKind::ActorMethod { .. } => {
+            Err("actor methods are executed by actor hosts, not workers".into())
+        }
+    }
+}
+
+/// Extracts a readable message from a caught panic payload.
+pub(crate) fn panic_message(panic: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = panic.downcast_ref::<&str>() {
+        format!("task panicked: {s}")
+    } else if let Some(s) = panic.downcast_ref::<String>() {
+        format!("task panicked: {s}")
+    } else {
+        "task panicked".to_string()
+    }
+}
+

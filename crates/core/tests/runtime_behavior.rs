@@ -1,0 +1,664 @@
+//! End-to-end behaviour of the rustray runtime: the API of paper Table 1,
+//! nested tasks, actors with stateful-edge ordering, resource-aware
+//! scheduling, error propagation, and fault tolerance (Fig. 11).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use bytes::Bytes;
+use ray_common::config::{FaultConfig, SchedulerPolicy};
+use ray_common::{NodeId, RayConfig, RayError, Resources};
+use rustray::registry::{decode_arg, encode_return, RemoteResult};
+use rustray::task::{Arg, ObjectRef, TaskOptions};
+use rustray::{ActorInstance, Cluster, RayContext};
+
+fn small_cluster() -> Cluster {
+    Cluster::start(RayConfig::builder().nodes(2).workers_per_node(2).seed(7).build()).unwrap()
+}
+
+#[test]
+fn remote_function_round_trip() {
+    let cluster = small_cluster();
+    cluster.register_fn2("add", |a: i64, b: i64| a + b);
+    let ctx = cluster.driver();
+    let fut = ctx
+        .call::<i64>("add", vec![Arg::value(&40i64).unwrap(), Arg::value(&2i64).unwrap()])
+        .unwrap();
+    assert_eq!(ctx.get(&fut).unwrap(), 42);
+    cluster.shutdown();
+}
+
+#[test]
+fn futures_chain_without_blocking() {
+    // Futures pass into further calls without get(): data edges form a
+    // chain (paper §3.1).
+    let cluster = small_cluster();
+    cluster.register_fn1("inc", |x: i64| x + 1);
+    let ctx = cluster.driver();
+    let mut fut: ObjectRef<i64> =
+        ctx.call("inc", vec![Arg::value(&0i64).unwrap()]).unwrap();
+    for _ in 0..20 {
+        fut = ctx.call("inc", vec![Arg::from_ref(&fut)]).unwrap();
+    }
+    assert_eq!(ctx.get(&fut).unwrap(), 21);
+    cluster.shutdown();
+}
+
+#[test]
+fn put_and_get_values() {
+    let cluster = small_cluster();
+    let ctx = cluster.driver();
+    let r = ctx.put(&vec![1.5f64, 2.5, 3.5]).unwrap();
+    assert_eq!(ctx.get(&r).unwrap(), vec![1.5, 2.5, 3.5]);
+    cluster.shutdown();
+}
+
+#[test]
+fn parallel_fan_out_fan_in() {
+    let cluster =
+        Cluster::start(RayConfig::builder().nodes(4).workers_per_node(2).build()).unwrap();
+    cluster.register_fn1("square", |x: u64| x * x);
+    let ctx = cluster.driver();
+    let futs: Vec<ObjectRef<u64>> = (0..50u64)
+        .map(|i| ctx.call("square", vec![Arg::value(&i).unwrap()]).unwrap())
+        .collect();
+    let total: u64 = ctx.get_all(&futs).unwrap().into_iter().sum();
+    assert_eq!(total, (0..50u64).map(|i| i * i).sum());
+    cluster.shutdown();
+}
+
+#[test]
+fn nested_remote_functions() {
+    // A remote function that itself fans out (paper §3.1: nested remote
+    // functions are critical for scalability).
+    let cluster = small_cluster();
+    cluster.register_fn1("leaf", |x: u64| x * 2);
+    cluster.register_raw("parent", |ctx: &RayContext, args: &[Bytes]| -> RemoteResult {
+        let n: u64 = decode_arg(args, 0)?;
+        let futs: Vec<ObjectRef<u64>> = (0..n)
+            .map(|i| {
+                ctx.call("leaf", vec![Arg::value(&i).map_err(|e| e.to_string())?])
+                    .map_err(|e| e.to_string())
+            })
+            .collect::<Result<_, String>>()?;
+        let sum: u64 =
+            ctx.get_all(&futs).map_err(|e| e.to_string())?.into_iter().sum();
+        encode_return(&sum)
+    });
+    let ctx = cluster.driver();
+    let fut: ObjectRef<u64> = ctx.call("parent", vec![Arg::value(&10u64).unwrap()]).unwrap();
+    assert_eq!(ctx.get(&fut).unwrap(), (0..10u64).map(|i| i * 2).sum());
+    cluster.shutdown();
+}
+
+#[test]
+fn deeply_nested_calls_do_not_deadlock_single_worker() {
+    // One worker per node; nested gets grow the pool instead of wedging.
+    let cluster =
+        Cluster::start(RayConfig::builder().nodes(1).workers_per_node(1).build()).unwrap();
+    cluster.register_fn1("zero", |x: u64| x);
+    cluster.register_raw("recurse", |ctx: &RayContext, args: &[Bytes]| -> RemoteResult {
+        let depth: u64 = decode_arg(args, 0)?;
+        if depth == 0 {
+            let f: ObjectRef<u64> =
+                ctx.call("zero", vec![Arg::value(&0u64).map_err(|e| e.to_string())?])
+                    .map_err(|e| e.to_string())?;
+            return encode_return(&ctx.get(&f).map_err(|e| e.to_string())?);
+        }
+        let f: ObjectRef<u64> = ctx
+            .call("recurse", vec![Arg::value(&(depth - 1)).map_err(|e| e.to_string())?])
+            .map_err(|e| e.to_string())?;
+        let v = ctx.get(&f).map_err(|e| e.to_string())?;
+        encode_return(&(v + 1))
+    });
+    let ctx = cluster.driver();
+    let fut: ObjectRef<u64> = ctx.call("recurse", vec![Arg::value(&5u64).unwrap()]).unwrap();
+    assert_eq!(ctx.get(&fut).unwrap(), 5);
+    cluster.shutdown();
+}
+
+#[test]
+fn wait_returns_first_k_ready() {
+    let cluster = small_cluster();
+    cluster.register_fn1("sleepy", |ms: u64| {
+        std::thread::sleep(Duration::from_millis(ms));
+        ms
+    });
+    let ctx = cluster.driver();
+    // One fast, one slow.
+    let fast: ObjectRef<u64> = ctx.call("sleepy", vec![Arg::value(&5u64).unwrap()]).unwrap();
+    let slow: ObjectRef<u64> =
+        ctx.call("sleepy", vec![Arg::value(&2000u64).unwrap()]).unwrap();
+    let (ready, pending) = ctx
+        .wait(&[fast.id(), slow.id()], 1, Duration::from_secs(10))
+        .unwrap();
+    assert_eq!(ready, vec![fast.id()]);
+    assert_eq!(pending, vec![slow.id()]);
+    cluster.shutdown();
+}
+
+#[test]
+fn wait_times_out_with_partial_results() {
+    let cluster = small_cluster();
+    cluster.register_fn1("sleepy", |ms: u64| {
+        std::thread::sleep(Duration::from_millis(ms));
+        ms
+    });
+    let ctx = cluster.driver();
+    let slow: ObjectRef<u64> =
+        ctx.call("sleepy", vec![Arg::value(&5000u64).unwrap()]).unwrap();
+    let (ready, pending) = ctx
+        .wait(&[slow.id()], 1, Duration::from_millis(50))
+        .unwrap();
+    assert!(ready.is_empty());
+    assert_eq!(pending.len(), 1);
+    cluster.shutdown();
+}
+
+#[test]
+fn task_errors_propagate_through_get() {
+    let cluster = small_cluster();
+    cluster.register_raw("boom", |_: &RayContext, _: &[Bytes]| -> RemoteResult {
+        Err("deliberate failure".into())
+    });
+    let ctx = cluster.driver();
+    let fut: ObjectRef<u64> = ctx.call("boom", vec![]).unwrap();
+    match ctx.get(&fut) {
+        Err(RayError::TaskFailed { message, .. }) => assert!(message.contains("deliberate")),
+        other => panic!("expected TaskFailed, got {other:?}"),
+    }
+    cluster.shutdown();
+}
+
+#[test]
+fn task_panics_become_task_failures() {
+    let cluster = small_cluster();
+    cluster.register_fn1("panic_if_odd", |x: u64| {
+        if x % 2 == 1 {
+            panic!("odd input {x}");
+        }
+        x
+    });
+    let ctx = cluster.driver();
+    let ok: ObjectRef<u64> = ctx.call("panic_if_odd", vec![Arg::value(&2u64).unwrap()]).unwrap();
+    assert_eq!(ctx.get(&ok).unwrap(), 2);
+    let bad: ObjectRef<u64> =
+        ctx.call("panic_if_odd", vec![Arg::value(&3u64).unwrap()]).unwrap();
+    match ctx.get(&bad) {
+        Err(RayError::TaskFailed { message, .. }) => assert!(message.contains("odd input 3")),
+        other => panic!("expected TaskFailed, got {other:?}"),
+    }
+    cluster.shutdown();
+}
+
+#[test]
+fn errors_propagate_through_dependent_tasks() {
+    let cluster = small_cluster();
+    cluster.register_raw("boom", |_: &RayContext, _: &[Bytes]| -> RemoteResult {
+        Err("root cause".into())
+    });
+    cluster.register_fn1("consume", |x: u64| x);
+    let ctx = cluster.driver();
+    let bad: ObjectRef<u64> = ctx.call("boom", vec![]).unwrap();
+    let downstream: ObjectRef<u64> =
+        ctx.call("consume", vec![Arg::from_ref(&bad)]).unwrap();
+    match ctx.get(&downstream) {
+        Err(RayError::TaskFailed { message, .. }) => assert!(message.contains("root cause")),
+        other => panic!("expected propagated TaskFailed, got {other:?}"),
+    }
+    cluster.shutdown();
+}
+
+#[test]
+fn unknown_function_fails_cleanly() {
+    let cluster = small_cluster();
+    let ctx = cluster.driver();
+    let fut: ObjectRef<u64> = ctx.call("never_registered", vec![]).unwrap();
+    assert!(matches!(ctx.get(&fut), Err(RayError::TaskFailed { .. })));
+    cluster.shutdown();
+}
+
+#[test]
+fn gpu_task_waits_for_gpu_node() {
+    // GPU demand routes to the one GPU node (paper §5.3.2 heterogeneity).
+    let cluster = Cluster::start(
+        RayConfig::builder()
+            .nodes(2)
+            .workers_per_node(2)
+            .node_resources(Resources::new(2.0, 0.0))
+            .build(),
+    )
+    .unwrap();
+    // Add a GPU node via restart trickery: kill node 1, it restarts with
+    // the same capacity — so instead check infeasible demand stays pending
+    // and then a feasible task completes.
+    cluster.register_fn0("cpu_task", || 1u8);
+    let ctx = cluster.driver();
+    let gpu_fut: ObjectRef<u8> =
+        ctx.call_opts("cpu_task", vec![], TaskOptions::gpus(1.0)).unwrap();
+    // No GPU node exists: the task must not complete.
+    let (ready, _) = ctx.wait(&[gpu_fut.id()], 1, Duration::from_millis(200)).unwrap();
+    assert!(ready.is_empty(), "GPU task ran on a CPU-only cluster");
+    // CPU tasks keep flowing meanwhile.
+    let ok: ObjectRef<u8> = ctx.call("cpu_task", vec![]).unwrap();
+    assert_eq!(ctx.get(&ok).unwrap(), 1);
+    cluster.shutdown();
+}
+
+// ----------------------------------------------------------------------
+// Actors.
+// ----------------------------------------------------------------------
+
+struct Counter {
+    value: i64,
+}
+
+impl ActorInstance for Counter {
+    fn call(&mut self, _ctx: &RayContext, method: &str, args: &[Bytes]) -> RemoteResult {
+        match method {
+            "incr" => {
+                let by: i64 = decode_arg(args, 0)?;
+                self.value += by;
+                encode_return(&self.value)
+            }
+            "get" => encode_return(&self.value),
+            other => Err(format!("no method {other}")),
+        }
+    }
+
+    fn checkpoint(&self) -> Option<Vec<u8>> {
+        Some(self.value.to_le_bytes().to_vec())
+    }
+
+    fn restore(&mut self, data: &[u8]) -> Result<(), String> {
+        let bytes: [u8; 8] = data.try_into().map_err(|_| "bad checkpoint")?;
+        self.value = i64::from_le_bytes(bytes);
+        Ok(())
+    }
+}
+
+fn register_counter(cluster: &Cluster) {
+    cluster.register_actor_class("Counter", |_ctx, args| {
+        let start: i64 = decode_arg(args, 0)?;
+        Ok(Box::new(Counter { value: start }))
+    });
+}
+
+#[test]
+fn actor_methods_execute_serially_in_order() {
+    let cluster = small_cluster();
+    register_counter(&cluster);
+    let ctx = cluster.driver();
+    let h = ctx.create_actor("Counter", vec![Arg::value(&100i64).unwrap()], TaskOptions::default()).unwrap();
+    let mut futs = Vec::new();
+    for _ in 0..20 {
+        futs.push(ctx.call_actor::<i64>(&h, "incr", vec![Arg::value(&1i64).unwrap()]).unwrap());
+    }
+    // Stateful edges: results are 101..=120 in submission order.
+    let values = ctx.get_all(&futs).unwrap();
+    assert_eq!(values, (101..=120).collect::<Vec<i64>>());
+    cluster.shutdown();
+}
+
+#[test]
+fn actor_handle_ready_future_resolves() {
+    let cluster = small_cluster();
+    register_counter(&cluster);
+    let ctx = cluster.driver();
+    let h = ctx
+        .create_actor("Counter", vec![Arg::value(&0i64).unwrap()], TaskOptions::default())
+        .unwrap();
+    let actor_id = ctx.get(&h.ready()).unwrap();
+    assert_eq!(actor_id, h.id());
+    cluster.shutdown();
+}
+
+#[test]
+fn actor_method_errors_do_not_kill_actor() {
+    let cluster = small_cluster();
+    register_counter(&cluster);
+    let ctx = cluster.driver();
+    let h = ctx
+        .create_actor("Counter", vec![Arg::value(&0i64).unwrap()], TaskOptions::default())
+        .unwrap();
+    let bad: ObjectRef<i64> = ctx.call_actor(&h, "no_such_method", vec![]).unwrap();
+    assert!(matches!(ctx.get(&bad), Err(RayError::TaskFailed { .. })));
+    let ok: ObjectRef<i64> =
+        ctx.call_actor(&h, "incr", vec![Arg::value(&5i64).unwrap()]).unwrap();
+    assert_eq!(ctx.get(&ok).unwrap(), 5);
+    cluster.shutdown();
+}
+
+#[test]
+fn actor_handles_shared_across_tasks() {
+    // A handle passed (by actor ID) into a remote function can call the
+    // actor (paper §3.1: "a handle to an actor can be passed to other
+    // actors or tasks").
+    let cluster = small_cluster();
+    register_counter(&cluster);
+    let ctx = cluster.driver();
+    let h = ctx
+        .create_actor("Counter", vec![Arg::value(&0i64).unwrap()], TaskOptions::default())
+        .unwrap();
+    // Pump the counter from the driver; a remote reader sees the state.
+    for _ in 0..3 {
+        let f: ObjectRef<i64> =
+            ctx.call_actor(&h, "incr", vec![Arg::value(&10i64).unwrap()]).unwrap();
+        ctx.get(&f).unwrap();
+    }
+    let f: ObjectRef<i64> = ctx.call_actor(&h, "get", vec![]).unwrap();
+    assert_eq!(ctx.get(&f).unwrap(), 30);
+    cluster.shutdown();
+}
+
+// ----------------------------------------------------------------------
+// Fault tolerance (paper Fig. 11).
+// ----------------------------------------------------------------------
+
+#[test]
+fn lost_object_is_reconstructed_via_lineage() {
+    let cluster = Cluster::start(
+        RayConfig::builder().nodes(2).workers_per_node(2).seed(3).build(),
+    )
+    .unwrap();
+    static RUNS: AtomicUsize = AtomicUsize::new(0);
+    cluster.register_fn1("tracked", |x: u64| {
+        RUNS.fetch_add(1, Ordering::SeqCst);
+        x * 3
+    });
+    let ctx = cluster.driver();
+    let fut: ObjectRef<u64> = ctx.call("tracked", vec![Arg::value(&7u64).unwrap()]).unwrap();
+    assert_eq!(ctx.get(&fut).unwrap(), 21);
+    let runs_before = RUNS.load(Ordering::SeqCst);
+
+    // Destroy every replica of the result.
+    for n in 0..2 {
+        if let Some(store) = cluster.object_store(NodeId(n)) {
+            store.delete(fut.id());
+            store.spill().clear();
+        }
+    }
+    // get() must transparently re-execute the task.
+    assert_eq!(ctx.get(&fut).unwrap(), 21);
+    assert!(RUNS.load(Ordering::SeqCst) > runs_before, "task should have re-executed");
+    cluster.shutdown();
+}
+
+#[test]
+fn node_death_recovers_chain_results() {
+    // Linear chain of tasks; kill a node mid-stream; the final get still
+    // succeeds through reconstruction (Fig. 11a's mechanism).
+    let cluster = Cluster::start(
+        RayConfig::builder().nodes(3).workers_per_node(2).seed(11).build(),
+    )
+    .unwrap();
+    cluster.register_fn1("incr", |x: u64| x + 1);
+    let ctx = cluster.driver();
+    let mut fut: ObjectRef<u64> = ctx.call("incr", vec![Arg::value(&0u64).unwrap()]).unwrap();
+    for i in 0..30 {
+        fut = ctx.call("incr", vec![Arg::from_ref(&fut)]).unwrap();
+        if i == 15 {
+            cluster.kill_node(NodeId(1));
+        }
+    }
+    assert_eq!(ctx.get_with_timeout(&fut, Duration::from_secs(120)).unwrap(), 31);
+    cluster.shutdown();
+}
+
+#[test]
+fn put_objects_are_not_reconstructable() {
+    let cluster = small_cluster();
+    let ctx = cluster.driver();
+    let r = ctx.put(&123u64).unwrap();
+    for n in 0..2 {
+        if let Some(store) = cluster.object_store(NodeId(n)) {
+            store.delete(r.id());
+            store.spill().clear();
+        }
+    }
+    match ctx.get_with_timeout(&r, Duration::from_secs(2)) {
+        Err(RayError::ObjectLost(_)) | Err(RayError::Timeout) => {}
+        other => panic!("expected loss, got {other:?}"),
+    }
+    cluster.shutdown();
+}
+
+#[test]
+fn actor_rebuilds_on_node_death_with_checkpointing() {
+    let mut cfg = RayConfig::builder().nodes(3).workers_per_node(2).seed(5).build();
+    cfg.fault = FaultConfig {
+        lineage_enabled: true,
+        max_reconstruction_attempts: 3,
+        actor_checkpoint_interval: Some(4),
+    };
+    let cluster = Cluster::start(cfg).unwrap();
+    register_counter(&cluster);
+    let ctx = cluster.driver();
+    let h = ctx
+        .create_actor("Counter", vec![Arg::value(&0i64).unwrap()], TaskOptions::default())
+        .unwrap();
+    // Drive state and find out where the actor lives.
+    for _ in 0..10 {
+        let f: ObjectRef<i64> =
+            ctx.call_actor(&h, "incr", vec![Arg::value(&1i64).unwrap()]).unwrap();
+        ctx.get(&f).unwrap();
+    }
+    let record = cluster.gcs().client().get_actor(h.id()).unwrap().unwrap();
+    cluster.kill_node(record.node);
+    // Drive from a surviving node (killing the driver's own node would
+    // kill a real driver too).
+    let survivor = (0..3).map(NodeId).find(|&n| n != record.node).unwrap();
+    let ctx = cluster.driver_on(survivor);
+
+    // The next method sees the fully recovered state (checkpoint + replay).
+    let f: ObjectRef<i64> =
+        ctx.call_actor(&h, "incr", vec![Arg::value(&1i64).unwrap()]).unwrap();
+    assert_eq!(ctx.get_with_timeout(&f, Duration::from_secs(120)).unwrap(), 11);
+    // Checkpoints bounded the replay.
+    assert!(cluster.metrics().counter("checkpoints_taken").get() >= 1);
+    let replayed = cluster.metrics().counter("methods_replayed").get();
+    assert!(replayed <= 4, "checkpoint every 4 should bound replay, replayed {replayed}");
+    cluster.shutdown();
+}
+
+#[test]
+fn actor_rebuilds_without_checkpoint_by_full_replay() {
+    let cluster = Cluster::start(
+        RayConfig::builder().nodes(3).workers_per_node(2).seed(6).build(),
+    )
+    .unwrap();
+    register_counter(&cluster);
+    let ctx = cluster.driver();
+    let h = ctx
+        .create_actor("Counter", vec![Arg::value(&5i64).unwrap()], TaskOptions::default())
+        .unwrap();
+    for _ in 0..6 {
+        let f: ObjectRef<i64> =
+            ctx.call_actor(&h, "incr", vec![Arg::value(&1i64).unwrap()]).unwrap();
+        ctx.get(&f).unwrap();
+    }
+    let record = cluster.gcs().client().get_actor(h.id()).unwrap().unwrap();
+    cluster.kill_node(record.node);
+    let survivor = (0..3).map(NodeId).find(|&n| n != record.node).unwrap();
+    let ctx = cluster.driver_on(survivor);
+    let f: ObjectRef<i64> = ctx.call_actor(&h, "get", vec![]).unwrap();
+    assert_eq!(ctx.get_with_timeout(&f, Duration::from_secs(120)).unwrap(), 11);
+    assert_eq!(cluster.metrics().counter("methods_replayed").get(), 6);
+    cluster.shutdown();
+}
+
+#[test]
+fn read_only_methods_skip_the_stateful_edge() {
+    // Paper §5.1 future work: annotating non-mutating methods bounds
+    // reconstruction further. Read-only calls execute in order but are
+    // not logged and not replayed.
+    let cluster = Cluster::start(
+        RayConfig::builder().nodes(3).workers_per_node(2).seed(13).build(),
+    )
+    .unwrap();
+    register_counter(&cluster);
+    let ctx = cluster.driver();
+    let h = ctx
+        .create_actor("Counter", vec![Arg::value(&0i64).unwrap()], TaskOptions::default())
+        .unwrap();
+    for _ in 0..5 {
+        let w: ObjectRef<i64> =
+            ctx.call_actor(&h, "incr", vec![Arg::value(&1i64).unwrap()]).unwrap();
+        ctx.get(&w).unwrap();
+        // Interleave read-only reads (twice as many as writes).
+        for _ in 0..2 {
+            let r: ObjectRef<i64> = ctx.call_actor_readonly(&h, "get", vec![]).unwrap();
+            assert!(ctx.get(&r).unwrap() >= 1);
+        }
+    }
+    // Only the 5 writes are on the stateful-edge chain.
+    let record = cluster.gcs().client().get_actor(h.id()).unwrap().unwrap();
+    assert_eq!(record.methods_invoked, 5);
+
+    cluster.kill_node(record.node);
+    let survivor = (0..3).map(NodeId).find(|&n| n != record.node).unwrap();
+    let ctx = cluster.driver_on(survivor);
+    let f: ObjectRef<i64> = ctx.call_actor(&h, "get", vec![]).unwrap();
+    assert_eq!(ctx.get_with_timeout(&f, Duration::from_secs(120)).unwrap(), 5);
+    // Replay covered only the 5 logged writes, not the 10 reads.
+    assert_eq!(cluster.metrics().counter("methods_replayed").get(), 5);
+    cluster.shutdown();
+}
+
+#[test]
+fn restart_node_rejoins_cluster() {
+    let cluster = Cluster::start(
+        RayConfig::builder().nodes(2).workers_per_node(1).build(),
+    )
+    .unwrap();
+    assert_eq!(cluster.live_nodes(), 2);
+    cluster.kill_node(NodeId(1));
+    assert_eq!(cluster.live_nodes(), 1);
+    cluster.restart_node(NodeId(1)).unwrap();
+    assert_eq!(cluster.live_nodes(), 2);
+    // Restarting a live node is rejected.
+    assert!(cluster.restart_node(NodeId(1)).is_err());
+    // And the cluster still runs tasks.
+    cluster.register_fn0("one", || 1u8);
+    let ctx = cluster.driver();
+    let f: ObjectRef<u8> = ctx.call("one", vec![]).unwrap();
+    assert_eq!(ctx.get(&f).unwrap(), 1);
+    cluster.shutdown();
+}
+
+#[test]
+fn add_node_scales_out() {
+    let cluster = Cluster::start(
+        RayConfig::builder().nodes(1).workers_per_node(1).build(),
+    )
+    .unwrap();
+    let added = cluster.add_node().unwrap();
+    assert_eq!(cluster.live_nodes(), 2);
+    assert_ne!(added, NodeId(0));
+    cluster.shutdown();
+}
+
+#[test]
+fn node_affinity_pins_tasks() {
+    let cluster = Cluster::start(
+        RayConfig::builder().nodes(3).workers_per_node(2).build(),
+    )
+    .unwrap();
+    cluster.register_fn0("where_am_i", || std::thread::current().name().unwrap().to_string());
+    let ctx = cluster.driver();
+    for n in 0..3u32 {
+        let opts = TaskOptions::default().with_demand(rustray::node_affinity(NodeId(n)));
+        let fut: ObjectRef<String> = ctx.call_opts("where_am_i", vec![], opts).unwrap();
+        let name = ctx.get(&fut).unwrap();
+        assert!(
+            name.starts_with(&format!("worker-N{n}-")),
+            "task pinned to N{n} ran on {name}"
+        );
+    }
+    cluster.shutdown();
+}
+
+#[test]
+fn centralized_policy_still_executes_tasks() {
+    let cluster = Cluster::start(
+        RayConfig::builder()
+            .nodes(2)
+            .workers_per_node(2)
+            .policy(SchedulerPolicy::Centralized)
+            .build(),
+    )
+    .unwrap();
+    cluster.register_fn1("double", |x: u64| x * 2);
+    let ctx = cluster.driver();
+    let futs: Vec<ObjectRef<u64>> = (0..20u64)
+        .map(|i| ctx.call("double", vec![Arg::value(&i).unwrap()]).unwrap())
+        .collect();
+    let sum: u64 = ctx.get_all(&futs).unwrap().into_iter().sum();
+    assert_eq!(sum, (0..20u64).map(|i| i * 2).sum());
+    // Every task went through the global scheduler.
+    assert_eq!(cluster.metrics().counter("tasks_scheduled_locally").get(), 0);
+    assert!(cluster.metrics().counter("tasks_spilled").get() >= 20);
+    cluster.shutdown();
+}
+
+#[test]
+fn spillover_balances_load_across_nodes() {
+    // Flood one driver: the spillover threshold pushes overflow to the
+    // other node (bottom-up scheduling, Fig. 6).
+    let mut cfg = RayConfig::builder().nodes(2).workers_per_node(2).build();
+    cfg.scheduler.spillover_threshold = 4;
+    let cluster = Cluster::start(cfg).unwrap();
+    cluster.register_fn1("work", |ms: u64| {
+        std::thread::sleep(Duration::from_millis(ms));
+        ms
+    });
+    let ctx = cluster.driver();
+    let futs: Vec<ObjectRef<u64>> = (0..64)
+        .map(|_| ctx.call("work", vec![Arg::value(&5u64).unwrap()]).unwrap())
+        .collect();
+    ctx.get_all(&futs).unwrap();
+    let spilled = cluster.metrics().counter("tasks_spilled").get();
+    assert!(spilled > 0, "expected some spillover with a flooded queue");
+    cluster.shutdown();
+}
+
+#[test]
+fn metrics_count_submissions_and_executions() {
+    let cluster = small_cluster();
+    cluster.register_fn0("nop", || 0u8);
+    let ctx = cluster.driver();
+    let futs: Vec<ObjectRef<u8>> =
+        (0..10).map(|_| ctx.call("nop", vec![]).unwrap()).collect();
+    ctx.get_all(&futs).unwrap();
+    assert!(cluster.metrics().counter("tasks_submitted").get() >= 10);
+    assert!(cluster.metrics().counter("tasks_executed").get() >= 10);
+    cluster.shutdown();
+}
+
+#[test]
+fn concurrent_drivers_share_the_cluster() {
+    let cluster = Cluster::start(
+        RayConfig::builder().nodes(2).workers_per_node(4).build(),
+    )
+    .unwrap();
+    cluster.register_fn1("echo", |x: u64| x);
+    let cluster = Arc::new(cluster);
+    let handles: Vec<_> = (0..4u32)
+        .map(|d| {
+            let cluster = cluster.clone();
+            std::thread::spawn(move || {
+                let ctx = cluster.driver_on(NodeId(d % 2));
+                let futs: Vec<ObjectRef<u64>> = (0..25u64)
+                    .map(|i| ctx.call("echo", vec![Arg::value(&i).unwrap()]).unwrap())
+                    .collect();
+                let sum: u64 = ctx.get_all(&futs).unwrap().into_iter().sum();
+                assert_eq!(sum, (0..25u64).sum());
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    cluster.shutdown();
+}

@@ -1,0 +1,650 @@
+//! Typed client façade over the sharded GCS.
+//!
+//! Components never touch shards directly; they use a [`GcsClient`] whose
+//! methods mirror the tables in paper Fig. 5: the object table (locations +
+//! sizes), the task table (lineage), the client table (node membership),
+//! the actor and checkpoint tables, the function table, and the event log.
+//! Keys are routed to shards by ID digest, exactly like "GCS tables are
+//! sharded by object and task IDs" (§4.2.4).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use bytes::Bytes;
+use crossbeam_channel::{unbounded, Receiver};
+use serde::{Deserialize, Serialize};
+
+use ray_common::util::fnv1a_64;
+use ray_common::{ActorId, FunctionId, NodeId, ObjectId, RayError, RayResult, TaskId};
+
+use crate::chain::Chain;
+use crate::kv::{Entry, Key, Notification, Table, UpdateOp};
+
+/// A recorded object replica: which node holds it and how large it is.
+///
+/// The size rides along with every location ("the location of the task's
+/// inputs and their sizes from GCS", §4.2.2) so the global scheduler can
+/// estimate transfer times without another lookup.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ObjectLocation {
+    /// Node holding a copy of the object.
+    pub node: NodeId,
+    /// Object size in bytes.
+    pub size: u64,
+}
+
+impl ObjectLocation {
+    fn to_member(self) -> Vec<u8> {
+        let mut m = Vec::with_capacity(12);
+        m.extend_from_slice(&self.node.0.to_le_bytes());
+        m.extend_from_slice(&self.size.to_le_bytes());
+        m
+    }
+
+    fn from_member(m: &[u8]) -> Option<ObjectLocation> {
+        if m.len() != 12 {
+            return None;
+        }
+        Some(ObjectLocation {
+            node: NodeId(u32::from_le_bytes(m[..4].try_into().ok()?)),
+            size: u64::from_le_bytes(m[4..].try_into().ok()?),
+        })
+    }
+}
+
+/// Node-membership record (client table).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ClientRecord {
+    /// The node this record describes.
+    pub node: NodeId,
+    /// Whether the node is believed alive.
+    pub alive: bool,
+}
+
+/// Actor-table record.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ActorRecord {
+    /// The actor.
+    pub actor: ActorId,
+    /// Node currently hosting the actor.
+    pub node: NodeId,
+    /// Function ID of the actor's registered constructor.
+    pub constructor: FunctionId,
+    /// The actor-creation task (its spec in the task table carries the
+    /// resource demand a respawn must honor).
+    pub creation_task: TaskId,
+    /// Constructor arguments as *resolved* payloads (codec-encoded
+    /// `Vec<Blob>`): a respawn must not depend on the original argument
+    /// objects, which may themselves be lost.
+    pub init_args: ray_codec::Blob,
+    /// Lifecycle state.
+    pub state: ActorState,
+    /// Number of methods invoked so far (length of the stateful-edge
+    /// chain).
+    pub methods_invoked: u64,
+}
+
+/// Actor lifecycle states.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ActorState {
+    /// Actor is running on its recorded node.
+    Alive,
+    /// Actor lost its node; replay in progress.
+    Reconstructing,
+    /// Actor is permanently gone.
+    Dead,
+}
+
+/// Checkpoint-table record: actor state as of a method sequence number.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CheckpointRecord {
+    /// Stateful-edge sequence number the checkpoint covers (methods
+    /// `0..seq` are folded into the state).
+    pub seq: u64,
+    /// Serialized actor state.
+    pub data: ray_codec::Blob,
+}
+
+/// Function-table record.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FunctionRecord {
+    /// Registered name (the ID is its hash).
+    pub name: String,
+}
+
+/// Key under which the set of all registered nodes lives.
+const ALL_NODES_KEY: &[u8] = b"__all_nodes__";
+
+/// Composite key for one entry of an actor's method log: actor ID bytes
+/// followed by the little-endian sequence number (distinct by length from
+/// the 16-byte actor-record key).
+fn method_log_key(actor: ActorId, seq: u64) -> Vec<u8> {
+    let mut k = actor.0.as_bytes().to_vec();
+    k.extend_from_slice(&seq.to_le_bytes());
+    k
+}
+
+/// Cheap-clone typed handle to the GCS.
+#[derive(Clone)]
+pub struct GcsClient {
+    shards: Arc<Vec<Chain>>,
+    next_sub_id: Arc<AtomicU64>,
+}
+
+impl GcsClient {
+    /// Wraps the shard set.
+    pub fn new(shards: Arc<Vec<Chain>>) -> GcsClient {
+        GcsClient { shards, next_sub_id: Arc::new(AtomicU64::new(1)) }
+    }
+
+    fn shard_for(&self, key: &Key) -> &Chain {
+        let digest = fnv1a_64(&key.id);
+        &self.shards[(digest % self.shards.len() as u64) as usize]
+    }
+
+    fn write(&self, key: Key, op: impl FnOnce(Key) -> UpdateOp) -> RayResult<()> {
+        let shard = self.shard_for(&key);
+        shard.write(op(key))
+    }
+
+    fn read(&self, key: &Key) -> RayResult<Option<Entry>> {
+        self.shard_for(key).read(key)
+    }
+
+    // ------------------------------------------------------------------
+    // Object table.
+    // ------------------------------------------------------------------
+
+    /// Records that `node` holds a copy of `object` of `size` bytes
+    /// (Fig. 7b step 4).
+    pub fn add_object_location(
+        &self,
+        object: ObjectId,
+        node: NodeId,
+        size: u64,
+    ) -> RayResult<()> {
+        let key = Key::new(Table::Object, object.0.as_bytes().to_vec());
+        self.write(key, |key| UpdateOp::SetAdd {
+            key,
+            member: ObjectLocation { node, size }.to_member(),
+        })
+    }
+
+    /// Removes `node` from `object`'s location set (eviction or node
+    /// death).
+    pub fn remove_object_location(
+        &self,
+        object: ObjectId,
+        node: NodeId,
+        size: u64,
+    ) -> RayResult<()> {
+        let key = Key::new(Table::Object, object.0.as_bytes().to_vec());
+        self.write(key, |key| UpdateOp::SetRemove {
+            key,
+            member: ObjectLocation { node, size }.to_member(),
+        })
+    }
+
+    /// Current locations of `object` (empty if unknown — the object may not
+    /// have been created yet, Fig. 7b step 2).
+    pub fn get_object_locations(&self, object: ObjectId) -> RayResult<Vec<ObjectLocation>> {
+        let key = Key::new(Table::Object, object.0.as_bytes().to_vec());
+        match self.read(&key)? {
+            Some(Entry::Set(members)) => Ok(members
+                .iter()
+                .filter_map(|m| ObjectLocation::from_member(m))
+                .collect()),
+            Some(_) | None => Ok(Vec::new()),
+        }
+    }
+
+    /// Subscribes to changes of `object`'s location entry. If the entry
+    /// already exists, a notification with the current state is delivered
+    /// immediately (closing the create/subscribe race of Fig. 7b).
+    pub fn subscribe_object(&self, object: ObjectId) -> RayResult<ObjectSubscription> {
+        let key = Key::new(Table::Object, object.0.as_bytes().to_vec());
+        let (tx, rx) = unbounded();
+        let sub_id = self.next_sub_id.fetch_add(1, Ordering::Relaxed);
+        self.shard_for(&key).write(UpdateOp::Subscribe { key: key.clone(), sub_id, sender: tx })?;
+        Ok(ObjectSubscription { client: self.clone(), key, sub_id, rx })
+    }
+
+    /// Subscribes `sender` to `object`'s location entry, multiplexing many
+    /// objects onto one channel (the event-driven `ray.wait` uses this).
+    /// Returns the subscription ID for [`Self::unsubscribe_object`].
+    pub fn subscribe_object_shared(
+        &self,
+        object: ObjectId,
+        sender: crate::kv::NotifySender,
+    ) -> RayResult<u64> {
+        let key = Key::new(Table::Object, object.0.as_bytes().to_vec());
+        let sub_id = self.next_sub_id.fetch_add(1, Ordering::Relaxed);
+        self.shard_for(&key).write(UpdateOp::Subscribe { key, sub_id, sender })?;
+        Ok(sub_id)
+    }
+
+    /// Removes a subscription created by [`Self::subscribe_object_shared`].
+    pub fn unsubscribe_object(&self, object: ObjectId, sub_id: u64) -> RayResult<()> {
+        let key = Key::new(Table::Object, object.0.as_bytes().to_vec());
+        self.shard_for(&key).write(UpdateOp::Unsubscribe { key, sub_id })
+    }
+
+    // ------------------------------------------------------------------
+    // Task table (lineage).
+    // ------------------------------------------------------------------
+
+    /// Records a task spec (opaque to the GCS) — the lineage entry that
+    /// makes reconstruction possible.
+    pub fn put_task(&self, task: TaskId, spec: Bytes) -> RayResult<()> {
+        let key = Key::new(Table::Task, task.0.as_bytes().to_vec());
+        self.write(key, |key| UpdateOp::Put { key, value: spec })
+    }
+
+    /// Reads back a task spec (possibly from the flushed disk tier).
+    pub fn get_task(&self, task: TaskId) -> RayResult<Option<Bytes>> {
+        let key = Key::new(Table::Task, task.0.as_bytes().to_vec());
+        match self.read(&key)? {
+            Some(Entry::Blob(b)) => Ok(Some(b)),
+            Some(_) => Err(RayError::Invalid("task entry has wrong shape".into())),
+            None => Ok(None),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Lineage table (object → creating task).
+    // ------------------------------------------------------------------
+
+    /// Records that `object` is created by `task` — the inverse data edge
+    /// the reconstruction path follows from a lost object back into the
+    /// task table.
+    pub fn put_object_lineage(&self, object: ObjectId, task: TaskId) -> RayResult<()> {
+        let key = Key::new(Table::Lineage, object.0.as_bytes().to_vec());
+        let value = Bytes::copy_from_slice(&task.0.as_bytes());
+        self.write(key, |key| UpdateOp::Put { key, value })
+    }
+
+    /// Looks up which task creates `object` (`None` for `put` objects,
+    /// which have no lineage and cannot be reconstructed).
+    pub fn get_object_lineage(&self, object: ObjectId) -> RayResult<Option<TaskId>> {
+        let key = Key::new(Table::Lineage, object.0.as_bytes().to_vec());
+        match self.read(&key)? {
+            Some(Entry::Blob(b)) => {
+                let bytes: [u8; 16] = b
+                    .as_ref()
+                    .try_into()
+                    .map_err(|_| RayError::Invalid("malformed lineage entry".into()))?;
+                Ok(Some(TaskId::from_bytes(bytes)))
+            }
+            _ => Ok(None),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Actor method log (the stateful-edge chain, paper §3.2).
+    // ------------------------------------------------------------------
+
+    /// Records that the `seq`-th method executed on `actor` was `task`.
+    /// Together with the task table this is the actor's replayable lineage.
+    pub fn log_actor_method(&self, actor: ActorId, seq: u64, task: TaskId) -> RayResult<()> {
+        let key = Key::new(Table::Actor, method_log_key(actor, seq));
+        let value = Bytes::copy_from_slice(&task.0.as_bytes());
+        self.write(key, |key| UpdateOp::Put { key, value })
+    }
+
+    /// Reads the `seq`-th method of `actor`'s stateful-edge chain.
+    pub fn get_actor_method(&self, actor: ActorId, seq: u64) -> RayResult<Option<TaskId>> {
+        let key = Key::new(Table::Actor, method_log_key(actor, seq));
+        match self.read(&key)? {
+            Some(Entry::Blob(b)) => {
+                let bytes: [u8; 16] = b
+                    .as_ref()
+                    .try_into()
+                    .map_err(|_| RayError::Invalid("malformed method log entry".into()))?;
+                Ok(Some(TaskId::from_bytes(bytes)))
+            }
+            _ => Ok(None),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Client (node) table.
+    // ------------------------------------------------------------------
+
+    /// Registers a node as alive.
+    pub fn register_node(&self, node: NodeId) -> RayResult<()> {
+        let rec = ClientRecord { node, alive: true };
+        let value = Bytes::from(ray_codec::encode(&rec).map_err(RayError::from)?);
+        let key = Key::new(Table::Client, node.0.to_le_bytes().to_vec());
+        self.write(key, |key| UpdateOp::Put { key, value })?;
+        let all = Key::new(Table::Client, ALL_NODES_KEY.to_vec());
+        self.write(all, |key| UpdateOp::SetAdd { key, member: node.0.to_le_bytes().to_vec() })
+    }
+
+    /// Marks a node dead (failure detection).
+    pub fn mark_node_dead(&self, node: NodeId) -> RayResult<()> {
+        let rec = ClientRecord { node, alive: false };
+        let value = Bytes::from(ray_codec::encode(&rec).map_err(RayError::from)?);
+        let key = Key::new(Table::Client, node.0.to_le_bytes().to_vec());
+        self.write(key, |key| UpdateOp::Put { key, value })
+    }
+
+    /// Whether a node is currently recorded alive.
+    pub fn node_alive(&self, node: NodeId) -> RayResult<bool> {
+        let key = Key::new(Table::Client, node.0.to_le_bytes().to_vec());
+        match self.read(&key)? {
+            Some(Entry::Blob(b)) => {
+                let rec: ClientRecord = ray_codec::decode(&b).map_err(RayError::from)?;
+                Ok(rec.alive)
+            }
+            _ => Ok(false),
+        }
+    }
+
+    /// All nodes that ever registered.
+    pub fn all_nodes(&self) -> RayResult<Vec<NodeId>> {
+        let key = Key::new(Table::Client, ALL_NODES_KEY.to_vec());
+        match self.read(&key)? {
+            Some(Entry::Set(members)) => Ok(members
+                .iter()
+                .filter_map(|m| Some(NodeId(u32::from_le_bytes(m.as_slice().try_into().ok()?))))
+                .collect()),
+            _ => Ok(Vec::new()),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Actor + checkpoint tables.
+    // ------------------------------------------------------------------
+
+    /// Writes an actor record.
+    pub fn put_actor(&self, rec: &ActorRecord) -> RayResult<()> {
+        let value = Bytes::from(ray_codec::encode(rec).map_err(RayError::from)?);
+        let key = Key::new(Table::Actor, rec.actor.0.as_bytes().to_vec());
+        self.write(key, |key| UpdateOp::Put { key, value })
+    }
+
+    /// Reads an actor record.
+    pub fn get_actor(&self, actor: ActorId) -> RayResult<Option<ActorRecord>> {
+        let key = Key::new(Table::Actor, actor.0.as_bytes().to_vec());
+        match self.read(&key)? {
+            Some(Entry::Blob(b)) => {
+                Ok(Some(ray_codec::decode(&b).map_err(RayError::from)?))
+            }
+            _ => Ok(None),
+        }
+    }
+
+    /// Stores an actor checkpoint, superseding any previous one.
+    pub fn put_checkpoint(&self, actor: ActorId, rec: &CheckpointRecord) -> RayResult<()> {
+        let value = Bytes::from(ray_codec::encode(rec).map_err(RayError::from)?);
+        let key = Key::new(Table::Checkpoint, actor.0.as_bytes().to_vec());
+        self.write(key, |key| UpdateOp::Put { key, value })
+    }
+
+    /// Reads the latest checkpoint for an actor.
+    pub fn get_checkpoint(&self, actor: ActorId) -> RayResult<Option<CheckpointRecord>> {
+        let key = Key::new(Table::Checkpoint, actor.0.as_bytes().to_vec());
+        match self.read(&key)? {
+            Some(Entry::Blob(b)) => {
+                Ok(Some(ray_codec::decode(&b).map_err(RayError::from)?))
+            }
+            _ => Ok(None),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Function table.
+    // ------------------------------------------------------------------
+
+    /// Registers a function name (its body lives in every worker's
+    /// in-process registry; the GCS records the name ↔ ID binding, Fig. 7a
+    /// step 0).
+    pub fn register_function(&self, id: FunctionId, name: &str) -> RayResult<()> {
+        let rec = FunctionRecord { name: name.to_string() };
+        let value = Bytes::from(ray_codec::encode(&rec).map_err(RayError::from)?);
+        let key = Key::new(Table::Function, id.0.to_le_bytes().to_vec());
+        self.write(key, |key| UpdateOp::Put { key, value })
+    }
+
+    /// Looks up a registered function name.
+    pub fn get_function(&self, id: FunctionId) -> RayResult<Option<FunctionRecord>> {
+        let key = Key::new(Table::Function, id.0.to_le_bytes().to_vec());
+        match self.read(&key)? {
+            Some(Entry::Blob(b)) => {
+                Ok(Some(ray_codec::decode(&b).map_err(RayError::from)?))
+            }
+            _ => Ok(None),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Event log.
+    // ------------------------------------------------------------------
+
+    /// Appends an event under a topic (at-least-once across GCS
+    /// failovers; used by debugging/profiling tooling).
+    pub fn log_event(&self, topic: &str, payload: Bytes) -> RayResult<()> {
+        let key = Key::new(Table::Event, topic.as_bytes().to_vec());
+        self.write(key, |key| UpdateOp::ListAppend { key, item: payload })
+    }
+
+    /// Reads all events logged under a topic.
+    pub fn get_events(&self, topic: &str) -> RayResult<Vec<Bytes>> {
+        let key = Key::new(Table::Event, topic.as_bytes().to_vec());
+        match self.read(&key)? {
+            Some(Entry::List(items)) => Ok(items),
+            _ => Ok(Vec::new()),
+        }
+    }
+}
+
+/// Live subscription to one object's location entry; unsubscribes on drop.
+pub struct ObjectSubscription {
+    client: GcsClient,
+    key: Key,
+    sub_id: u64,
+    rx: Receiver<Notification>,
+}
+
+impl ObjectSubscription {
+    /// The notification stream.
+    pub fn receiver(&self) -> &Receiver<Notification> {
+        &self.rx
+    }
+
+    /// Blocks until the object has at least one location, or the timeout
+    /// expires. Returns the locations seen in the triggering notification.
+    pub fn wait_for_location(
+        &self,
+        timeout: std::time::Duration,
+    ) -> RayResult<Vec<ObjectLocation>> {
+        let deadline = std::time::Instant::now() + timeout;
+        loop {
+            let remaining = deadline
+                .saturating_duration_since(std::time::Instant::now());
+            if remaining.is_zero() {
+                return Err(RayError::Timeout);
+            }
+            let n = self.rx.recv_timeout(remaining).map_err(|_| RayError::Timeout)?;
+            if let Some(Entry::Set(members)) = n.entry {
+                let locs: Vec<ObjectLocation> = members
+                    .iter()
+                    .filter_map(|m| ObjectLocation::from_member(m))
+                    .collect();
+                if !locs.is_empty() {
+                    return Ok(locs);
+                }
+            }
+        }
+    }
+}
+
+impl Drop for ObjectSubscription {
+    fn drop(&mut self) {
+        let _ = self.client.shard_for(&self.key).write(UpdateOp::Unsubscribe {
+            key: self.key.clone(),
+            sub_id: self.sub_id,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Gcs;
+    use ray_common::config::GcsConfig;
+    use std::time::Duration;
+
+    fn client() -> (Gcs, GcsClient) {
+        let gcs = Gcs::start(&GcsConfig { num_shards: 2, ..GcsConfig::default() }).unwrap();
+        let c = gcs.client();
+        (gcs, c)
+    }
+
+    #[test]
+    fn object_location_member_round_trip() {
+        let loc = ObjectLocation { node: NodeId(7), size: 123456789 };
+        assert_eq!(ObjectLocation::from_member(&loc.to_member()), Some(loc));
+        assert_eq!(ObjectLocation::from_member(&[1, 2, 3]), None);
+    }
+
+    #[test]
+    fn object_table_add_remove() {
+        let (_gcs, c) = client();
+        let id = ObjectId::random();
+        c.add_object_location(id, NodeId(0), 100).unwrap();
+        c.add_object_location(id, NodeId(1), 100).unwrap();
+        let mut locs = c.get_object_locations(id).unwrap();
+        locs.sort_by_key(|l| l.node.0);
+        assert_eq!(locs.len(), 2);
+        assert_eq!(locs[0].node, NodeId(0));
+        c.remove_object_location(id, NodeId(0), 100).unwrap();
+        let locs = c.get_object_locations(id).unwrap();
+        assert_eq!(locs.len(), 1);
+        assert_eq!(locs[0].node, NodeId(1));
+    }
+
+    #[test]
+    fn unknown_object_has_no_locations() {
+        let (_gcs, c) = client();
+        assert!(c.get_object_locations(ObjectId::random()).unwrap().is_empty());
+    }
+
+    #[test]
+    fn subscription_fires_on_creation() {
+        let (_gcs, c) = client();
+        let id = ObjectId::random();
+        let sub = c.subscribe_object(id).unwrap();
+        let c2 = c.clone();
+        let h = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(20));
+            c2.add_object_location(id, NodeId(3), 42).unwrap();
+        });
+        let locs = sub.wait_for_location(Duration::from_secs(2)).unwrap();
+        assert_eq!(locs[0].node, NodeId(3));
+        assert_eq!(locs[0].size, 42);
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn subscription_sees_preexisting_entry() {
+        let (_gcs, c) = client();
+        let id = ObjectId::random();
+        c.add_object_location(id, NodeId(1), 8).unwrap();
+        let sub = c.subscribe_object(id).unwrap();
+        let locs = sub.wait_for_location(Duration::from_secs(1)).unwrap();
+        assert_eq!(locs[0].node, NodeId(1));
+    }
+
+    #[test]
+    fn task_table_round_trip() {
+        let (_gcs, c) = client();
+        let t = TaskId::random();
+        assert_eq!(c.get_task(t).unwrap(), None);
+        c.put_task(t, Bytes::from_static(b"spec")).unwrap();
+        assert_eq!(c.get_task(t).unwrap(), Some(Bytes::from_static(b"spec")));
+    }
+
+    #[test]
+    fn client_table_lifecycle() {
+        let (_gcs, c) = client();
+        assert!(!c.node_alive(NodeId(0)).unwrap());
+        c.register_node(NodeId(0)).unwrap();
+        c.register_node(NodeId(1)).unwrap();
+        assert!(c.node_alive(NodeId(0)).unwrap());
+        let mut nodes = c.all_nodes().unwrap();
+        nodes.sort();
+        assert_eq!(nodes, vec![NodeId(0), NodeId(1)]);
+        c.mark_node_dead(NodeId(0)).unwrap();
+        assert!(!c.node_alive(NodeId(0)).unwrap());
+        // Still in the registry (dead nodes stay listed).
+        assert_eq!(c.all_nodes().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn actor_and_checkpoint_tables() {
+        let (_gcs, c) = client();
+        let actor = ActorId::random();
+        let rec = ActorRecord {
+            actor,
+            node: NodeId(2),
+            constructor: FunctionId::for_name("Sim"),
+            creation_task: TaskId::random(),
+            init_args: ray_codec::Blob(vec![1, 2, 3]),
+            state: ActorState::Alive,
+            methods_invoked: 17,
+        };
+        c.put_actor(&rec).unwrap();
+        assert_eq!(c.get_actor(actor).unwrap(), Some(rec));
+        assert_eq!(c.get_checkpoint(actor).unwrap(), None);
+        let ck = CheckpointRecord { seq: 10, data: ray_codec::Blob(vec![9; 32]) };
+        c.put_checkpoint(actor, &ck).unwrap();
+        assert_eq!(c.get_checkpoint(actor).unwrap(), Some(ck));
+    }
+
+    #[test]
+    fn lineage_table_round_trip() {
+        let (_gcs, c) = client();
+        let obj = ObjectId::random();
+        let task = TaskId::random();
+        assert_eq!(c.get_object_lineage(obj).unwrap(), None);
+        c.put_object_lineage(obj, task).unwrap();
+        assert_eq!(c.get_object_lineage(obj).unwrap(), Some(task));
+    }
+
+    #[test]
+    fn actor_method_log_is_a_chain() {
+        let (_gcs, c) = client();
+        let actor = ActorId::random();
+        let tasks: Vec<TaskId> = (0..5).map(|_| TaskId::random()).collect();
+        for (seq, &t) in tasks.iter().enumerate() {
+            c.log_actor_method(actor, seq as u64, t).unwrap();
+        }
+        for (seq, &t) in tasks.iter().enumerate() {
+            assert_eq!(c.get_actor_method(actor, seq as u64).unwrap(), Some(t));
+        }
+        assert_eq!(c.get_actor_method(actor, 99).unwrap(), None);
+        // Logs of different actors do not collide.
+        assert_eq!(c.get_actor_method(ActorId::random(), 0).unwrap(), None);
+    }
+
+    #[test]
+    fn function_table_round_trip() {
+        let (_gcs, c) = client();
+        let id = FunctionId::for_name("add");
+        c.register_function(id, "add").unwrap();
+        assert_eq!(c.get_function(id).unwrap().unwrap().name, "add");
+        assert!(c.get_function(FunctionId::for_name("missing")).unwrap().is_none());
+    }
+
+    #[test]
+    fn event_log_appends_in_order() {
+        let (_gcs, c) = client();
+        for i in 0..5u8 {
+            c.log_event("profile", Bytes::from(vec![i])).unwrap();
+        }
+        let events = c.get_events("profile").unwrap();
+        assert_eq!(events.len(), 5);
+        assert_eq!(events[4], Bytes::from(vec![4u8]));
+    }
+}

@@ -1,0 +1,187 @@
+//! Spill tier: where LRU-evicted objects go.
+//!
+//! "For low latency, we keep objects entirely in memory and evict them as
+//! needed to disk using an LRU policy" (paper §4.2.3). The spill store is
+//! an append-only log with an offset index, like the GCS disk tier but
+//! keyed by object ID.
+
+use std::collections::HashMap;
+use std::fs::{File, OpenOptions};
+use std::io::Write as _;
+use std::os::unix::fs::FileExt;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use bytes::Bytes;
+use parking_lot::Mutex;
+
+use ray_common::ObjectId;
+
+/// Per-node spill storage.
+pub struct SpillStore {
+    backing: Mutex<Backing>,
+    index: Mutex<HashMap<ObjectId, (u64, u64)>>,
+    bytes_spilled: AtomicU64,
+}
+
+enum Backing {
+    File { file: File, len: u64 },
+    Memory(Vec<u8>),
+}
+
+impl SpillStore {
+    /// Opens a file-backed spill store (truncating previous contents).
+    pub fn open(path: PathBuf) -> std::io::Result<SpillStore> {
+        let file = OpenOptions::new()
+            .create(true)
+            .read(true)
+            .write(true)
+            .truncate(true)
+            .open(path)?;
+        Ok(SpillStore {
+            backing: Mutex::new(Backing::File { file, len: 0 }),
+            index: Mutex::new(HashMap::new()),
+            bytes_spilled: AtomicU64::new(0),
+        })
+    }
+
+    /// Creates an in-memory spill store (tests and laptop-scale benches;
+    /// same code paths, no filesystem churn).
+    pub fn in_memory() -> SpillStore {
+        SpillStore {
+            backing: Mutex::new(Backing::Memory(Vec::new())),
+            index: Mutex::new(HashMap::new()),
+            bytes_spilled: AtomicU64::new(0),
+        }
+    }
+
+    /// Spills an object. Objects are immutable, so re-spilling the same ID
+    /// is a no-op.
+    pub fn write(&self, id: ObjectId, data: &Bytes) {
+        if self.index.lock().contains_key(&id) {
+            return;
+        }
+        let offset = {
+            let mut backing = self.backing.lock();
+            match &mut *backing {
+                Backing::File { file, len } => {
+                    let offset = *len;
+                    file.write_all(data).expect("spill write failed");
+                    *len += data.len() as u64;
+                    offset
+                }
+                Backing::Memory(buf) => {
+                    let offset = buf.len() as u64;
+                    buf.extend_from_slice(data);
+                    offset
+                }
+            }
+        };
+        self.bytes_spilled.fetch_add(data.len() as u64, Ordering::Relaxed);
+        self.index.lock().insert(id, (offset, data.len() as u64));
+    }
+
+    /// Reads a spilled object back.
+    pub fn read(&self, id: ObjectId) -> Option<Bytes> {
+        let (offset, len) = *self.index.lock().get(&id)?;
+        let mut buf = vec![0u8; len as usize];
+        let backing = self.backing.lock();
+        match &*backing {
+            Backing::File { file, .. } => file.read_exact_at(&mut buf, offset).ok()?,
+            Backing::Memory(mem) => {
+                buf.copy_from_slice(&mem[offset as usize..(offset + len) as usize])
+            }
+        }
+        Some(Bytes::from(buf))
+    }
+
+    /// Whether an object has been spilled.
+    pub fn contains(&self, id: ObjectId) -> bool {
+        self.index.lock().contains_key(&id)
+    }
+
+    /// Number of spilled objects.
+    pub fn len(&self) -> usize {
+        self.index.lock().len()
+    }
+
+    /// Whether nothing has been spilled.
+    pub fn is_empty(&self) -> bool {
+        self.index.lock().is_empty()
+    }
+
+    /// Total bytes ever spilled.
+    pub fn bytes_spilled(&self) -> u64 {
+        self.bytes_spilled.load(Ordering::Relaxed)
+    }
+
+    /// Forgets one spilled object (its log bytes become unreachable; log
+    /// compaction is out of scope). Returns whether it was present.
+    pub fn forget(&self, id: ObjectId) -> bool {
+        self.index.lock().remove(&id).is_some()
+    }
+
+    /// Drops all spilled data (node failure wipes local disk too in our
+    /// failure model).
+    pub fn clear(&self) {
+        self.index.lock().clear();
+        let mut backing = self.backing.lock();
+        if let Backing::Memory(buf) = &mut *backing {
+            buf.clear();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_read_round_trip() {
+        let s = SpillStore::in_memory();
+        let id = ObjectId::random();
+        let data = Bytes::from(vec![7u8; 1000]);
+        s.write(id, &data);
+        assert_eq!(s.read(id), Some(data));
+        assert!(s.contains(id));
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn duplicate_spill_is_noop() {
+        let s = SpillStore::in_memory();
+        let id = ObjectId::random();
+        s.write(id, &Bytes::from_static(b"abc"));
+        s.write(id, &Bytes::from_static(b"abc"));
+        assert_eq!(s.bytes_spilled(), 3);
+    }
+
+    #[test]
+    fn missing_object_is_none() {
+        let s = SpillStore::in_memory();
+        assert_eq!(s.read(ObjectId::random()), None);
+    }
+
+    #[test]
+    fn clear_wipes_everything() {
+        let s = SpillStore::in_memory();
+        let id = ObjectId::random();
+        s.write(id, &Bytes::from_static(b"x"));
+        s.clear();
+        assert!(!s.contains(id));
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn file_backed_round_trip() {
+        let path = std::env::temp_dir()
+            .join(format!("rustray-spill-test-{}.bin", std::process::id()));
+        let s = SpillStore::open(path.clone()).unwrap();
+        let id = ObjectId::random();
+        let data = Bytes::from((0..=255u8).collect::<Vec<_>>());
+        s.write(id, &data);
+        assert_eq!(s.read(id), Some(data));
+        drop(s);
+        let _ = std::fs::remove_file(path);
+    }
+}

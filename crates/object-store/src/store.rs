@@ -1,0 +1,585 @@
+//! One node's in-memory object store.
+//!
+//! Objects are immutable once sealed ("the object store is limited to
+//! immutable data", §4.2.3), which is what lets rustray skip consistency
+//! protocols entirely: a `put` of an existing ID with identical bytes is
+//! idempotent, with different bytes it is an error.
+//!
+//! Object creation really copies the payload into the store — mirroring
+//! the shared-memory write in the original — and large objects use a
+//! multi-threaded copy ("It uses 8 threads to copy objects larger than
+//! 0.5MB and 1 thread for small objects", Fig. 9 caption).
+
+use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use bytes::Bytes;
+use crossbeam_channel::Sender;
+use parking_lot::{Condvar, Mutex};
+
+use ray_common::config::ObjectStoreConfig;
+use ray_common::{NodeId, ObjectId, RayError, RayResult};
+
+use crate::spill::SpillStore;
+
+/// Objects at or above this size are copied with multiple threads.
+pub const PARALLEL_COPY_THRESHOLD: usize = 512 * 1024;
+/// Threads used for large-object copies.
+pub const PARALLEL_COPY_THREADS: usize = 8;
+
+/// What happened during a `put`.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct PutOutcome {
+    /// Objects evicted from memory to make room, with their sizes.
+    pub evicted: Vec<(ObjectId, u64)>,
+    /// Of those, the ones *dropped entirely* (spilling disabled): their GCS
+    /// locations must be removed by the caller.
+    pub dropped: Vec<(ObjectId, u64)>,
+}
+
+struct Slot {
+    data: Bytes,
+    access_seq: u64,
+}
+
+struct StoreMap {
+    objects: HashMap<ObjectId, Slot>,
+    /// access_seq → id; the BTreeMap head is the LRU victim.
+    lru: BTreeMap<u64, ObjectId>,
+    resident_bytes: usize,
+    waiters: HashMap<ObjectId, Vec<Sender<Bytes>>>,
+}
+
+/// A per-node object store.
+pub struct LocalObjectStore {
+    node: NodeId,
+    capacity: usize,
+    spill_enabled: bool,
+    map: Mutex<StoreMap>,
+    sealed_cond: Condvar,
+    access_counter: AtomicU64,
+    spill: SpillStore,
+    puts: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl LocalObjectStore {
+    /// Creates an empty store for `node`.
+    pub fn new(node: NodeId, cfg: &ObjectStoreConfig) -> LocalObjectStore {
+        LocalObjectStore {
+            node,
+            capacity: cfg.capacity_bytes,
+            spill_enabled: cfg.spill_enabled,
+            map: Mutex::new(StoreMap {
+                objects: HashMap::new(),
+                lru: BTreeMap::new(),
+                resident_bytes: 0,
+                waiters: HashMap::new(),
+            }),
+            sealed_cond: Condvar::new(),
+            access_counter: AtomicU64::new(0),
+            spill: SpillStore::in_memory(),
+            puts: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// The node this store belongs to.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// In-memory capacity in bytes.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Bytes currently resident in memory.
+    pub fn resident_bytes(&self) -> usize {
+        self.map.lock().resident_bytes
+    }
+
+    /// Number of objects resident in memory.
+    pub fn len(&self) -> usize {
+        self.map.lock().objects.len()
+    }
+
+    /// Whether the memory tier is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.lock().objects.is_empty()
+    }
+
+    /// Total `put` operations served.
+    pub fn put_count(&self) -> u64 {
+        self.puts.load(Ordering::Relaxed)
+    }
+
+    /// Total evictions performed.
+    pub fn eviction_count(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
+    }
+
+    /// The spill tier.
+    pub fn spill(&self) -> &SpillStore {
+        &self.spill
+    }
+
+    /// Stores an object, copying the payload into the store (like the
+    /// shared-memory write in the original system).
+    ///
+    /// Idempotent for identical contents; rejects a different payload under
+    /// the same ID (immutability).
+    pub fn put(&self, id: ObjectId, data: Bytes) -> RayResult<PutOutcome> {
+        let copied = copy_payload(&data);
+        self.put_nocopy(id, copied)
+    }
+
+    /// Stores an already-owned buffer without the creation copy. Used by
+    /// the transfer path, which has just materialized its own copy of the
+    /// bytes off the wire.
+    pub fn put_nocopy(&self, id: ObjectId, data: Bytes) -> RayResult<PutOutcome> {
+        if data.len() > self.capacity {
+            return Err(RayError::StoreFull { requested: data.len(), capacity: self.capacity });
+        }
+        let mut outcome = PutOutcome::default();
+        let waiters;
+        {
+            let mut map = self.map.lock();
+            if let Some(slot) = map.objects.get(&id) {
+                return if slot.data == data {
+                    Ok(outcome) // Idempotent re-put.
+                } else {
+                    Err(RayError::DuplicateObject(id))
+                };
+            }
+            // Evict LRU objects until the new one fits.
+            while map.resident_bytes + data.len() > self.capacity {
+                let (&seq, &victim) = match map.lru.iter().next() {
+                    Some(v) => v,
+                    None => break,
+                };
+                map.lru.remove(&seq);
+                if let Some(slot) = map.objects.remove(&victim) {
+                    map.resident_bytes -= slot.data.len();
+                    self.evictions.fetch_add(1, Ordering::Relaxed);
+                    if self.spill_enabled {
+                        self.spill.write(victim, &slot.data);
+                    } else {
+                        outcome.dropped.push((victim, slot.data.len() as u64));
+                    }
+                    outcome.evicted.push((victim, slot.data.len() as u64));
+                }
+            }
+            let seq = self.access_counter.fetch_add(1, Ordering::Relaxed);
+            map.resident_bytes += data.len();
+            map.lru.insert(seq, id);
+            map.objects.insert(id, Slot { data: data.clone(), access_seq: seq });
+            waiters = map.waiters.remove(&id);
+        }
+        self.puts.fetch_add(1, Ordering::Relaxed);
+        if let Some(ws) = waiters {
+            for w in ws {
+                let _ = w.send(data.clone());
+            }
+        }
+        self.sealed_cond.notify_all();
+        Ok(outcome)
+    }
+
+    /// Reads an object if present locally (memory, then spill). A spill
+    /// hit is re-admitted to memory when it fits (standard cache
+    /// promotion), which may evict others; those spills stay recoverable.
+    pub fn get_local(&self, id: ObjectId) -> Option<Bytes> {
+        {
+            let mut map = self.map.lock();
+            if let Some(slot) = map.objects.get_mut(&id) {
+                let seq = self.access_counter.fetch_add(1, Ordering::Relaxed);
+                let old = slot.access_seq;
+                slot.access_seq = seq;
+                let data = slot.data.clone();
+                map.lru.remove(&old);
+                map.lru.insert(seq, id);
+                return Some(data);
+            }
+        }
+        self.spill.read(id)
+    }
+
+    /// Whether the object is available locally (memory or spill).
+    pub fn contains(&self, id: ObjectId) -> bool {
+        self.map.lock().objects.contains_key(&id) || self.spill.contains(id)
+    }
+
+    /// Blocks until the object is available locally or the timeout expires.
+    pub fn wait_local(&self, id: ObjectId, timeout: std::time::Duration) -> RayResult<Bytes> {
+        let deadline = std::time::Instant::now() + timeout;
+        let mut map = self.map.lock();
+        loop {
+            if let Some(slot) = map.objects.get(&id) {
+                return Ok(slot.data.clone());
+            }
+            // Check spill without holding the map lock ordering hostage:
+            // spill has its own locks and never takes `map`.
+            if let Some(b) = self.spill.read(id) {
+                return Ok(b);
+            }
+            if self.sealed_cond.wait_until(&mut map, deadline).timed_out() {
+                return Err(RayError::Timeout);
+            }
+        }
+    }
+
+    /// Registers a waiter channel notified (with the payload) when the
+    /// object is created locally. Fires immediately if already present.
+    pub fn notify_on_local(&self, id: ObjectId, tx: Sender<Bytes>) {
+        let mut map = self.map.lock();
+        if let Some(slot) = map.objects.get(&id) {
+            let _ = tx.send(slot.data.clone());
+            return;
+        }
+        if let Some(b) = self.spill.read(id) {
+            let _ = tx.send(b);
+            return;
+        }
+        map.waiters.entry(id).or_default().push(tx);
+    }
+
+    /// Removes one object from memory and spill (explicit `free` of
+    /// consumed intermediates, lineage-reconstruction resets, tests).
+    pub fn delete(&self, id: ObjectId) -> bool {
+        let from_memory = {
+            let mut map = self.map.lock();
+            if let Some(slot) = map.objects.remove(&id) {
+                map.resident_bytes -= slot.data.len();
+                map.lru.remove(&slot.access_seq);
+                true
+            } else {
+                false
+            }
+        };
+        let from_spill = self.spill.forget(id);
+        from_memory || from_spill
+    }
+
+    /// Drops everything — the node died (paper Fig. 11: reconstruction
+    /// re-creates whatever was lost).
+    pub fn clear(&self) {
+        let mut map = self.map.lock();
+        map.objects.clear();
+        map.lru.clear();
+        map.resident_bytes = 0;
+        map.waiters.clear();
+        self.spill.clear();
+    }
+
+    /// IDs of all objects currently in memory (diagnostics).
+    pub fn resident_ids(&self) -> Vec<ObjectId> {
+        self.map.lock().objects.keys().copied().collect()
+    }
+}
+
+/// Copies a payload into a fresh buffer, using [`PARALLEL_COPY_THREADS`]
+/// threads for large objects (the Fig. 9 fast path).
+pub fn copy_payload(data: &Bytes) -> Bytes {
+    copy_payload_with_threads(
+        data,
+        if data.len() >= PARALLEL_COPY_THRESHOLD { PARALLEL_COPY_THREADS } else { 1 },
+    )
+}
+
+/// Copies a payload using exactly `threads` copy threads (the Fig. 9
+/// thread-sweep knob). Threads come from a persistent pool, like the
+/// original store's copy threads — per-call thread spawning would swamp
+/// the copy itself below a few MiB.
+pub fn copy_payload_with_threads(data: &Bytes, threads: usize) -> Bytes {
+    let n = data.len();
+    let threads = threads.clamp(1, copy_pool::POOL_THREADS);
+    if threads == 1 || n < threads * 64 * 1024 {
+        return Bytes::copy_from_slice(data);
+    }
+    let mut dst = vec![0u8; n];
+    copy_pool::parallel_copy(data, &mut dst, threads);
+    Bytes::from(dst)
+}
+
+/// Copies `src` into a caller-provided (already mapped) buffer with
+/// `threads` pool workers — the plasma-style write path where the
+/// destination is a pre-mapped shared-memory segment, so the measurement
+/// excludes allocation and first-touch page faults (paper Fig. 9).
+///
+/// # Panics
+///
+/// Panics if the buffers differ in length.
+pub fn copy_into(src: &[u8], dst: &mut [u8], threads: usize) {
+    assert_eq!(src.len(), dst.len(), "copy_into requires equal-length buffers");
+    let threads = threads.clamp(1, copy_pool::POOL_THREADS);
+    if threads == 1 || src.len() < threads * 64 * 1024 {
+        dst.copy_from_slice(src);
+    } else {
+        copy_pool::parallel_copy(src, dst, threads);
+    }
+}
+
+/// The persistent copy-thread pool behind [`copy_payload_with_threads`].
+mod copy_pool {
+    use crossbeam_channel::{bounded, unbounded, Receiver, Sender};
+    use std::sync::OnceLock;
+
+    /// Size of the shared pool (paper Fig. 9 sweeps 1–16 threads).
+    pub const POOL_THREADS: usize = 16;
+
+    /// One chunk-copy job. Raw pointers carry the disjoint source and
+    /// destination ranges to the pool.
+    struct Job {
+        src: *const u8,
+        dst: *mut u8,
+        len: usize,
+        done: Sender<()>,
+    }
+
+    // SAFETY: a `Job` is only constructed by `parallel_copy`, which hands
+    // each worker a range disjoint from every other job's and keeps both
+    // buffers alive (and the destination unaliased) until every `done`
+    // acknowledgement has been received before returning.
+    unsafe impl Send for Job {}
+
+    fn pool() -> &'static Sender<Job> {
+        static POOL: OnceLock<Sender<Job>> = OnceLock::new();
+        POOL.get_or_init(|| {
+            let (tx, rx) = unbounded::<Job>();
+            for i in 0..POOL_THREADS {
+                let rx: Receiver<Job> = rx.clone();
+                std::thread::Builder::new()
+                    .name(format!("copy-pool-{i}"))
+                    .spawn(move || {
+                        while let Ok(job) = rx.recv() {
+                            // SAFETY: per the `Job` invariant, `src` and
+                            // `dst` are valid for `len` bytes, disjoint,
+                            // and live until `done` is acknowledged.
+                            unsafe {
+                                std::ptr::copy_nonoverlapping(job.src, job.dst, job.len);
+                            }
+                            let _ = job.done.send(());
+                        }
+                    })
+                    .expect("spawn copy pool thread");
+            }
+            tx
+        })
+    }
+
+    /// Copies `src` into `dst` using `threads` pool workers on disjoint
+    /// chunks; blocks until every chunk is done.
+    pub fn parallel_copy(src: &[u8], dst: &mut [u8], threads: usize) {
+        assert_eq!(src.len(), dst.len());
+        let n = src.len();
+        let chunk = n.div_ceil(threads);
+        let (done_tx, done_rx) = bounded(threads);
+        let mut jobs = 0;
+        let mut off = 0;
+        while off < n {
+            let len = chunk.min(n - off);
+            // SAFETY: chunks are disjoint by construction; the borrows of
+            // `src` and `dst` outlive the blocking acknowledgement loop
+            // below, so the pointers stay valid for the job's lifetime.
+            let job = Job {
+                src: src[off..].as_ptr(),
+                dst: unsafe { dst.as_mut_ptr().add(off) },
+                len,
+                done: done_tx.clone(),
+            };
+            pool().send(job).expect("copy pool alive");
+            jobs += 1;
+            off += len;
+        }
+        for _ in 0..jobs {
+            done_rx.recv().expect("copy job acknowledged");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    fn store(capacity: usize, spill: bool) -> LocalObjectStore {
+        LocalObjectStore::new(
+            NodeId(0),
+            &ObjectStoreConfig { capacity_bytes: capacity, spill_enabled: spill },
+        )
+    }
+
+    #[test]
+    fn put_get_round_trip() {
+        let s = store(1024, true);
+        let id = ObjectId::random();
+        s.put(id, Bytes::from_static(b"data")).unwrap();
+        assert_eq!(s.get_local(id), Some(Bytes::from_static(b"data")));
+        assert_eq!(s.resident_bytes(), 4);
+    }
+
+    #[test]
+    fn put_is_idempotent_for_identical_bytes() {
+        let s = store(1024, true);
+        let id = ObjectId::random();
+        s.put(id, Bytes::from_static(b"same")).unwrap();
+        s.put(id, Bytes::from_static(b"same")).unwrap();
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn immutability_violation_rejected() {
+        let s = store(1024, true);
+        let id = ObjectId::random();
+        s.put(id, Bytes::from_static(b"one")).unwrap();
+        assert_eq!(
+            s.put(id, Bytes::from_static(b"two")).unwrap_err(),
+            RayError::DuplicateObject(id)
+        );
+    }
+
+    #[test]
+    fn oversized_object_rejected() {
+        let s = store(10, true);
+        assert!(matches!(
+            s.put(ObjectId::random(), Bytes::from(vec![0u8; 11])),
+            Err(RayError::StoreFull { .. })
+        ));
+    }
+
+    #[test]
+    fn lru_evicts_oldest_to_spill() {
+        let s = store(100, true);
+        let ids: Vec<ObjectId> = (0..4).map(|_| ObjectId::random()).collect();
+        // Three 30-byte objects fit; the fourth evicts the least recent.
+        for &id in &ids[..3] {
+            s.put(id, Bytes::from(vec![1u8; 30])).unwrap();
+        }
+        // Touch ids[0] so ids[1] becomes LRU.
+        s.get_local(ids[0]).unwrap();
+        let outcome = s.put(ids[3], Bytes::from(vec![1u8; 30])).unwrap();
+        assert_eq!(outcome.evicted.len(), 1);
+        assert_eq!(outcome.evicted[0].0, ids[1]);
+        assert!(outcome.dropped.is_empty(), "spill enabled: nothing dropped");
+        // The evicted object is still readable (from spill).
+        assert_eq!(s.get_local(ids[1]), Some(Bytes::from(vec![1u8; 30])));
+        assert!(s.spill().contains(ids[1]));
+    }
+
+    #[test]
+    fn eviction_without_spill_drops_objects() {
+        let s = store(50, false);
+        let a = ObjectId::random();
+        let b = ObjectId::random();
+        s.put(a, Bytes::from(vec![0u8; 40])).unwrap();
+        let outcome = s.put(b, Bytes::from(vec![0u8; 40])).unwrap();
+        assert_eq!(outcome.dropped, vec![(a, 40)]);
+        assert_eq!(s.get_local(a), None);
+    }
+
+    #[test]
+    fn resident_bytes_accounting_is_exact() {
+        let s = store(1000, true);
+        let ids: Vec<ObjectId> = (0..5).map(|_| ObjectId::random()).collect();
+        for (i, &id) in ids.iter().enumerate() {
+            s.put(id, Bytes::from(vec![0u8; (i + 1) * 10])).unwrap();
+        }
+        assert_eq!(s.resident_bytes(), 10 + 20 + 30 + 40 + 50);
+        s.delete(ids[2]);
+        assert_eq!(s.resident_bytes(), 10 + 20 + 40 + 50);
+    }
+
+    #[test]
+    fn wait_local_blocks_until_put() {
+        let s = std::sync::Arc::new(store(1024, true));
+        let id = ObjectId::random();
+        let s2 = s.clone();
+        let h = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(30));
+            s2.put(id, Bytes::from_static(b"late")).unwrap();
+        });
+        let got = s.wait_local(id, Duration::from_secs(2)).unwrap();
+        assert_eq!(got, Bytes::from_static(b"late"));
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn wait_local_times_out() {
+        let s = store(1024, true);
+        assert_eq!(
+            s.wait_local(ObjectId::random(), Duration::from_millis(20)).unwrap_err(),
+            RayError::Timeout
+        );
+    }
+
+    #[test]
+    fn notify_on_local_fires_for_existing_and_future_objects() {
+        let s = store(1024, true);
+        let existing = ObjectId::random();
+        s.put(existing, Bytes::from_static(b"now")).unwrap();
+        let (tx, rx) = crossbeam_channel::unbounded();
+        s.notify_on_local(existing, tx);
+        assert_eq!(rx.try_recv().unwrap(), Bytes::from_static(b"now"));
+
+        let future = ObjectId::random();
+        let (tx2, rx2) = crossbeam_channel::unbounded();
+        s.notify_on_local(future, tx2);
+        assert!(rx2.try_recv().is_err());
+        s.put(future, Bytes::from_static(b"later")).unwrap();
+        assert_eq!(rx2.recv_timeout(Duration::from_secs(1)).unwrap(), Bytes::from_static(b"later"));
+    }
+
+    #[test]
+    fn clear_simulates_node_death() {
+        let s = store(100, true);
+        let a = ObjectId::random();
+        let b = ObjectId::random();
+        s.put(a, Bytes::from(vec![0u8; 60])).unwrap();
+        s.put(b, Bytes::from(vec![0u8; 60])).unwrap(); // Evicts `a` to spill.
+        s.clear();
+        assert_eq!(s.get_local(a), None);
+        assert_eq!(s.get_local(b), None);
+        assert_eq!(s.resident_bytes(), 0);
+    }
+
+    #[test]
+    fn parallel_copy_matches_input() {
+        for size in [0usize, 1, 4095, 4096 * 8, 3_000_000] {
+            let src = Bytes::from((0..size).map(|i| (i % 251) as u8).collect::<Vec<_>>());
+            for threads in [1, 2, 8] {
+                let dst = copy_payload_with_threads(&src, threads);
+                assert_eq!(dst, src, "size {size} threads {threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn copy_into_matches_input_across_thread_counts() {
+        let src: Vec<u8> = (0..2_000_000).map(|i| (i % 199) as u8).collect();
+        for threads in [1usize, 3, 8, 16] {
+            let mut dst = vec![0u8; src.len()];
+            copy_into(&src, &mut dst, threads);
+            assert_eq!(dst, src, "threads {threads}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "equal-length")]
+    fn copy_into_rejects_length_mismatch() {
+        let mut dst = vec![0u8; 3];
+        copy_into(&[1, 2], &mut dst, 1);
+    }
+
+    #[test]
+    fn spill_hit_survives_multiple_reads() {
+        let s = store(50, true);
+        let a = ObjectId::random();
+        let b = ObjectId::random();
+        s.put(a, Bytes::from(vec![1u8; 40])).unwrap();
+        s.put(b, Bytes::from(vec![2u8; 40])).unwrap(); // Evicts a.
+        for _ in 0..3 {
+            assert_eq!(s.get_local(a), Some(Bytes::from(vec![1u8; 40])));
+        }
+    }
+}

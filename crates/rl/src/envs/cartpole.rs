@@ -1,0 +1,164 @@
+//! CartPole balance task with Gym `CartPole-v1` dynamics (Barto, Sutton &
+//! Anderson's cart-pole), adapted to the continuous-action interface: the
+//! action's sign selects the push direction.
+
+use super::{EnvRng, Environment};
+
+const GRAVITY: f64 = 9.8;
+const CART_MASS: f64 = 1.0;
+const POLE_MASS: f64 = 0.1;
+const TOTAL_MASS: f64 = CART_MASS + POLE_MASS;
+const POLE_HALF_LENGTH: f64 = 0.5;
+const POLE_MASS_LENGTH: f64 = POLE_MASS * POLE_HALF_LENGTH;
+const FORCE_MAG: f64 = 10.0;
+const DT: f64 = 0.02;
+const THETA_LIMIT: f64 = 12.0 * std::f64::consts::PI / 180.0;
+const X_LIMIT: f64 = 2.4;
+
+/// The cart-pole balancing environment.
+#[derive(Debug, Clone)]
+pub struct CartPole {
+    x: f64,
+    x_dot: f64,
+    theta: f64,
+    theta_dot: f64,
+    steps: u32,
+    horizon: u32,
+    done: bool,
+}
+
+impl CartPole {
+    /// Creates a cart-pole with the Gym v1 500-step horizon.
+    pub fn new() -> CartPole {
+        CartPole { x: 0.0, x_dot: 0.0, theta: 0.0, theta_dot: 0.0, steps: 0, horizon: 500, done: false }
+    }
+
+    fn observe(&self) -> Vec<f64> {
+        vec![self.x, self.x_dot, self.theta, self.theta_dot]
+    }
+}
+
+impl Default for CartPole {
+    fn default() -> Self {
+        CartPole::new()
+    }
+}
+
+impl Environment for CartPole {
+    fn reset(&mut self, seed: u64) -> Vec<f64> {
+        let mut rng = EnvRng::new(seed);
+        self.x = rng.uniform(-0.05, 0.05);
+        self.x_dot = rng.uniform(-0.05, 0.05);
+        self.theta = rng.uniform(-0.05, 0.05);
+        self.theta_dot = rng.uniform(-0.05, 0.05);
+        self.steps = 0;
+        self.done = false;
+        self.observe()
+    }
+
+    fn step(&mut self, action: &[f64]) -> (Vec<f64>, f64, bool) {
+        if self.done {
+            // Stepping a finished episode is a no-op with zero reward.
+            return (self.observe(), 0.0, true);
+        }
+        let force = if action.first().copied().unwrap_or(0.0) >= 0.0 {
+            FORCE_MAG
+        } else {
+            -FORCE_MAG
+        };
+        let cos = self.theta.cos();
+        let sin = self.theta.sin();
+        let temp =
+            (force + POLE_MASS_LENGTH * self.theta_dot * self.theta_dot * sin) / TOTAL_MASS;
+        let theta_acc = (GRAVITY * sin - cos * temp)
+            / (POLE_HALF_LENGTH * (4.0 / 3.0 - POLE_MASS * cos * cos / TOTAL_MASS));
+        let x_acc = temp - POLE_MASS_LENGTH * theta_acc * cos / TOTAL_MASS;
+
+        self.x += DT * self.x_dot;
+        self.x_dot += DT * x_acc;
+        self.theta += DT * self.theta_dot;
+        self.theta_dot += DT * theta_acc;
+        self.steps += 1;
+
+        self.done = self.x.abs() > X_LIMIT
+            || self.theta.abs() > THETA_LIMIT
+            || self.steps >= self.horizon;
+        (self.observe(), 1.0, self.done)
+    }
+
+    fn obs_dim(&self) -> usize {
+        4
+    }
+
+    fn action_dim(&self) -> usize {
+        1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn upright_start_survives_many_steps_with_bang_bang_balance() {
+        let mut env = CartPole::new();
+        let mut obs = env.reset(3);
+        let mut reward = 0.0;
+        for _ in 0..200 {
+            // Naive balance controller: push in the direction the pole leans.
+            let action = if obs[2] >= 0.0 { 1.0 } else { -1.0 };
+            let (o, r, done) = env.step(&[action]);
+            obs = o;
+            reward += r;
+            if done {
+                break;
+            }
+        }
+        assert!(reward >= 30.0, "bang-bang balance should survive a while, got {reward}");
+    }
+
+    #[test]
+    fn constant_push_fails_quickly() {
+        let mut env = CartPole::new();
+        env.reset(1);
+        let mut steps = 0;
+        loop {
+            let (_, _, done) = env.step(&[1.0]);
+            steps += 1;
+            if done {
+                break;
+            }
+        }
+        assert!(steps < 200, "constant force should topple the pole, lasted {steps}");
+    }
+
+    #[test]
+    fn done_episode_is_inert() {
+        let mut env = CartPole::new();
+        env.reset(1);
+        loop {
+            let (_, _, done) = env.step(&[1.0]);
+            if done {
+                break;
+            }
+        }
+        let (_, r, done) = env.step(&[1.0]);
+        assert!(done);
+        assert_eq!(r, 0.0);
+    }
+
+    #[test]
+    fn reset_restores_usability() {
+        let mut env = CartPole::new();
+        env.reset(1);
+        loop {
+            if env.step(&[1.0]).2 {
+                break;
+            }
+        }
+        env.reset(2);
+        let (_, r, done) = env.step(&[0.0]);
+        assert_eq!(r, 1.0);
+        assert!(!done);
+    }
+}

@@ -1,0 +1,142 @@
+//! A deterministic GridWorld: exact, fast, and fully predictable — the
+//! environment unit tests and examples use when they need to assert exact
+//! returns.
+//!
+//! The agent starts in the top-left of an `n × n` grid and must reach the
+//! bottom-right goal. Actions are continuous 2-vectors; the dominant axis
+//! and sign pick one of four moves. Reward is −1 per step and +10 at the
+//! goal.
+
+use super::Environment;
+
+/// Deterministic grid navigation task.
+#[derive(Debug, Clone)]
+pub struct GridWorld {
+    n: usize,
+    x: usize,
+    y: usize,
+    steps: u32,
+    horizon: u32,
+}
+
+impl GridWorld {
+    /// Creates an `n × n` grid (n ≥ 2) with a `4·n²` step horizon.
+    pub fn new(n: usize) -> GridWorld {
+        assert!(n >= 2, "grid must be at least 2×2");
+        GridWorld { n, x: 0, y: 0, steps: 0, horizon: (4 * n * n) as u32 }
+    }
+
+    fn observe(&self) -> Vec<f64> {
+        // Normalized coordinates plus the distance-to-goal.
+        let nx = self.x as f64 / (self.n - 1) as f64;
+        let ny = self.y as f64 / (self.n - 1) as f64;
+        let d = ((self.n - 1 - self.x) + (self.n - 1 - self.y)) as f64;
+        vec![nx, ny, d]
+    }
+
+    fn at_goal(&self) -> bool {
+        self.x == self.n - 1 && self.y == self.n - 1
+    }
+
+    /// Manhattan distance from start to goal (the optimal step count).
+    pub fn optimal_steps(&self) -> u32 {
+        (2 * (self.n - 1)) as u32
+    }
+}
+
+impl Environment for GridWorld {
+    fn reset(&mut self, _seed: u64) -> Vec<f64> {
+        self.x = 0;
+        self.y = 0;
+        self.steps = 0;
+        self.observe()
+    }
+
+    fn step(&mut self, action: &[f64]) -> (Vec<f64>, f64, bool) {
+        let ax = action.first().copied().unwrap_or(0.0);
+        let ay = action.get(1).copied().unwrap_or(0.0);
+        if ax.abs() >= ay.abs() {
+            if ax >= 0.0 {
+                self.x = (self.x + 1).min(self.n - 1);
+            } else {
+                self.x = self.x.saturating_sub(1);
+            }
+        } else if ay >= 0.0 {
+            self.y = (self.y + 1).min(self.n - 1);
+        } else {
+            self.y = self.y.saturating_sub(1);
+        }
+        self.steps += 1;
+        if self.at_goal() {
+            (self.observe(), 10.0, true)
+        } else {
+            (self.observe(), -1.0, self.steps >= self.horizon)
+        }
+    }
+
+    fn obs_dim(&self) -> usize {
+        3
+    }
+
+    fn action_dim(&self) -> usize {
+        2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn optimal_policy_gets_optimal_return() {
+        let mut env = GridWorld::new(4);
+        env.reset(0);
+        let mut total = 0.0;
+        let mut steps = 0;
+        loop {
+            // Alternate right/down.
+            let action = if steps % 2 == 0 { [1.0, 0.0] } else { [0.0, 1.0] };
+            let (_, r, done) = env.step(&action);
+            total += r;
+            steps += 1;
+            if done {
+                break;
+            }
+        }
+        assert_eq!(steps, env.optimal_steps());
+        // 5 steps of −1 and one final +10.
+        assert_eq!(total, 10.0 - (env.optimal_steps() - 1) as f64);
+    }
+
+    #[test]
+    fn walls_clamp_movement() {
+        let mut env = GridWorld::new(3);
+        let start = env.reset(0);
+        let (obs, _, _) = env.step(&[-1.0, 0.0]); // Into the left wall.
+        assert_eq!(obs[0], start[0]);
+    }
+
+    #[test]
+    fn horizon_bounds_wandering() {
+        let mut env = GridWorld::new(2);
+        env.reset(0);
+        let mut steps = 0;
+        loop {
+            // Always move left: never reaches the goal.
+            let (_, _, done) = env.step(&[-1.0, 0.0]);
+            steps += 1;
+            if done {
+                break;
+            }
+        }
+        assert_eq!(steps, 16); // 4·n² with n=2.
+    }
+
+    #[test]
+    fn observation_normalized() {
+        let mut env = GridWorld::new(5);
+        let obs = env.reset(0);
+        assert_eq!(obs[0], 0.0);
+        assert_eq!(obs[2], 8.0); // Manhattan distance to goal.
+    }
+}

@@ -1,0 +1,263 @@
+//! The Humanoid stand-in workload for Fig. 14.
+//!
+//! The paper's ES and PPO experiments run MuJoCo's `Humanoid-v1`, whose
+//! defining *systems* properties are (a) heterogeneity — "each task
+//! produces between 10 and 1000 steps" (Fig. 14b) — and (b) a
+//! learnability structure where better policies survive longer and score
+//! higher (the "time to score 6000" metric of Fig. 14). This synthetic
+//! environment reproduces both without MuJoCo:
+//!
+//! - a 376-dim observation / 17-dim action space (Humanoid's sizes);
+//! - per-step compute calibrated by `work_per_step` (arithmetic spin, so
+//!   cost scales with real CPU work, not sleeps);
+//! - a **fixed hidden target direction**: reward per step is
+//!   `6.5 · (alignment + 1) / 2` where `alignment ∈ [−1, 1]` is the
+//!   cosine between the action and the target — so a near-perfect policy
+//!   earns ≈ 6.5/step and a 1000-step episode scores ≈ 6500 (Humanoid's
+//!   6000-score regime);
+//! - **misalignment-driven falling**: each step the agent falls with
+//!   probability `0.02 · (1 − alignment)`, so random policies average
+//!   ~50-step episodes while good policies run to the horizon — exactly
+//!   the skew that couples learning progress to episode length;
+//! - episode horizon drawn log-uniformly in `[min_steps, max_steps]`
+//!   from the reset seed (simulation-length heterogeneity even for
+//!   perfect policies).
+
+use super::{EnvRng, Environment};
+
+/// Humanoid-v1 observation dimensionality.
+pub const OBS_DIM: usize = 376;
+/// Humanoid-v1 action dimensionality.
+pub const ACT_DIM: usize = 17;
+/// Max per-step reward (alignment = 1).
+pub const MAX_STEP_REWARD: f64 = 6.5;
+
+/// The hidden target direction every instance shares (normalized inside
+/// [`HumanoidLike::target`]); fixed so the task is learnable from any
+/// episode.
+const TARGET_SEED: u64 = 0x48554d414e4f4944; // "HUMANOID".
+
+/// Synthetic heavy-compute environment with heterogeneous episodes.
+#[derive(Debug, Clone)]
+pub struct HumanoidLike {
+    rng: EnvRng,
+    target: Vec<f64>,
+    state: Vec<f64>,
+    steps: u32,
+    episode_cap: u32,
+    min_steps: u32,
+    max_steps: u32,
+    work_per_step: u32,
+    fall_rate: f64,
+}
+
+impl HumanoidLike {
+    /// Creates the workload with the paper's 10–1000 step range and a
+    /// moderate per-step compute cost.
+    pub fn new() -> HumanoidLike {
+        HumanoidLike::with_params(10, 1000, 200)
+    }
+
+    /// Full control over the heterogeneity and compute knobs.
+    pub fn with_params(min_steps: u32, max_steps: u32, work_per_step: u32) -> HumanoidLike {
+        assert!(min_steps >= 1 && max_steps >= min_steps);
+        HumanoidLike {
+            rng: EnvRng::new(1),
+            target: fixed_target(),
+            state: vec![0.0; OBS_DIM],
+            steps: 0,
+            episode_cap: max_steps,
+            min_steps,
+            max_steps,
+            work_per_step,
+            fall_rate: 0.02,
+        }
+    }
+
+    /// Disables stochastic falling (pure horizon-driven lengths; used by
+    /// throughput benchmarks that want deterministic work).
+    pub fn without_falling(mut self) -> HumanoidLike {
+        self.fall_rate = 0.0;
+        self
+    }
+
+    /// The hidden target direction (exposed for tests and oracle
+    /// policies).
+    pub fn target(&self) -> &[f64] {
+        &self.target
+    }
+
+    fn spin(&self) -> f64 {
+        // Real arithmetic work (not a sleep): simulation cost scales with
+        // CPU speed, like MuJoCo physics would.
+        let mut acc = 1.000000001f64;
+        for i in 0..self.work_per_step {
+            acc = acc.mul_add(1.0000001, (i as f64).sin() * 1e-12);
+        }
+        acc
+    }
+}
+
+/// The globally fixed, normalized target direction.
+fn fixed_target() -> Vec<f64> {
+    let mut rng = EnvRng::new(TARGET_SEED);
+    let raw: Vec<f64> = (0..ACT_DIM).map(|_| rng.uniform(-1.0, 1.0)).collect();
+    let norm = raw.iter().map(|x| x * x).sum::<f64>().sqrt().max(1e-9);
+    raw.into_iter().map(|x| x / norm).collect()
+}
+
+impl Default for HumanoidLike {
+    fn default() -> Self {
+        HumanoidLike::new()
+    }
+}
+
+impl Environment for HumanoidLike {
+    fn reset(&mut self, seed: u64) -> Vec<f64> {
+        self.rng = EnvRng::new(seed);
+        // Log-uniform horizon in [min, max]: simulation-length
+        // heterogeneity independent of policy skill.
+        let lo = (self.min_steps as f64).ln();
+        let hi = (self.max_steps as f64).ln();
+        self.episode_cap = self
+            .rng
+            .uniform(lo, hi)
+            .exp()
+            .round()
+            .clamp(self.min_steps as f64, self.max_steps as f64) as u32;
+        self.state = (0..OBS_DIM).map(|_| self.rng.uniform(-0.1, 0.1)).collect();
+        self.steps = 0;
+        self.state.clone()
+    }
+
+    fn step(&mut self, action: &[f64]) -> (Vec<f64>, f64, bool) {
+        let _ = self.spin();
+        let mut dot = 0.0;
+        let mut norm_a = 1e-9;
+        for i in 0..ACT_DIM.min(action.len()) {
+            dot += action[i] * self.target[i];
+            norm_a += action[i] * action[i];
+        }
+        let alignment = (dot / norm_a.sqrt()).clamp(-1.0, 1.0);
+        let reward = MAX_STEP_REWARD * (alignment + 1.0) / 2.0;
+
+        // Drift the state so observations change over time.
+        for (i, s) in self.state.iter_mut().enumerate() {
+            *s = 0.99 * *s + 0.01 * action.get(i % ACT_DIM).copied().unwrap_or(0.0);
+        }
+        self.steps += 1;
+
+        // Falling: wild actions end immediately; otherwise misalignment
+        // risks a fall each step.
+        let hard_fall = norm_a.sqrt() > 4.0 * (ACT_DIM as f64).sqrt();
+        let stochastic_fall = self.fall_rate > 0.0
+            && self.rng.uniform(0.0, 1.0) < self.fall_rate * (1.0 - alignment);
+        let done = hard_fall || stochastic_fall || self.steps >= self.episode_cap;
+        (self.state.clone(), reward, done)
+    }
+
+    fn obs_dim(&self) -> usize {
+        OBS_DIM
+    }
+
+    fn action_dim(&self) -> usize {
+        ACT_DIM
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_episode(env: &mut HumanoidLike, seed: u64, action: &[f64]) -> (u32, f64) {
+        env.reset(seed);
+        let mut steps = 0;
+        let mut ret = 0.0;
+        loop {
+            let (_, r, done) = env.step(action);
+            steps += 1;
+            ret += r;
+            if done {
+                return (steps, ret);
+            }
+            assert!(steps <= 1001, "episode exceeded hard cap");
+        }
+    }
+
+    #[test]
+    fn horizon_lengths_are_heterogeneous_in_range() {
+        let mut env = HumanoidLike::with_params(10, 1000, 1).without_falling();
+        let target = env.target().to_vec();
+        let mut lengths = Vec::new();
+        for seed in 0..200 {
+            let (steps, _) = run_episode(&mut env, seed, &target);
+            lengths.push(steps);
+        }
+        let min = *lengths.iter().min().unwrap();
+        let max = *lengths.iter().max().unwrap();
+        assert!(min >= 10 && max <= 1000);
+        assert!(max > 5 * min, "lengths should spread widely: {min}..{max}");
+    }
+
+    #[test]
+    fn aligned_policy_survives_longer_and_scores_higher() {
+        let mut env = HumanoidLike::with_params(1000, 1000, 1);
+        let target = env.target().to_vec();
+        let bad: Vec<f64> = target.iter().map(|x| -x).collect();
+        let mut good_total = 0.0;
+        let mut bad_total = 0.0;
+        let mut good_steps = 0;
+        let mut bad_steps = 0;
+        for seed in 0..20 {
+            let (s, r) = run_episode(&mut env, seed, &target);
+            good_steps += s;
+            good_total += r;
+            let (s, r) = run_episode(&mut env, 1000 + seed, &bad);
+            bad_steps += s;
+            bad_total += r;
+        }
+        assert!(good_steps > 4 * bad_steps, "good {good_steps} vs bad {bad_steps}");
+        assert!(good_total > 10.0 * bad_total.max(1.0));
+    }
+
+    #[test]
+    fn perfect_policy_reaches_humanoid_scores() {
+        let mut env = HumanoidLike::with_params(1000, 1000, 1);
+        let target = env.target().to_vec();
+        let (steps, ret) = run_episode(&mut env, 42, &target);
+        assert_eq!(steps, 1000);
+        assert!(ret > 6000.0, "perfect alignment should score >6000, got {ret}");
+    }
+
+    #[test]
+    fn huge_actions_fall_immediately() {
+        let mut env = HumanoidLike::with_params(1000, 1000, 1);
+        env.reset(7);
+        let (_, _, done) = env.step(&vec![100.0; ACT_DIM]);
+        assert!(done);
+    }
+
+    #[test]
+    fn reset_is_deterministic() {
+        let mut a = HumanoidLike::new();
+        let mut b = HumanoidLike::new();
+        assert_eq!(a.reset(9), b.reset(9));
+        assert_eq!(a.episode_cap, b.episode_cap);
+    }
+
+    #[test]
+    fn target_is_unit_norm_and_fixed() {
+        let a = HumanoidLike::new();
+        let b = HumanoidLike::new();
+        assert_eq!(a.target(), b.target());
+        let norm: f64 = a.target().iter().map(|x| x * x).sum::<f64>().sqrt();
+        assert!((norm - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dims_match_humanoid() {
+        let env = HumanoidLike::new();
+        assert_eq!(env.obs_dim(), 376);
+        assert_eq!(env.action_dim(), 17);
+    }
+}

@@ -1,0 +1,170 @@
+//! The inverted pendulum swing-up task, with the same dynamics, reward,
+//! and limits as OpenAI Gym's `Pendulum-v0` [13] — the simulator behind
+//! the paper's Table 4 throughput comparison.
+//!
+//! State is `(θ, θ̇)`; the observation is `(cos θ, sin θ, θ̇)`; the agent
+//! applies a bounded torque and is penalized for angle, velocity, and
+//! effort: `cost = θ² + 0.1·θ̇² + 0.001·u²`.
+
+use super::{EnvRng, Environment};
+
+const MAX_SPEED: f64 = 8.0;
+const MAX_TORQUE: f64 = 2.0;
+const DT: f64 = 0.05;
+const GRAVITY: f64 = 10.0;
+const MASS: f64 = 1.0;
+const LENGTH: f64 = 1.0;
+
+/// Gym-equivalent pendulum simulator.
+#[derive(Debug, Clone)]
+pub struct Pendulum {
+    theta: f64,
+    theta_dot: f64,
+    steps: u32,
+    horizon: u32,
+}
+
+impl Pendulum {
+    /// Creates a pendulum with the Gym default 200-step horizon.
+    pub fn new() -> Pendulum {
+        Pendulum { theta: 0.0, theta_dot: 0.0, steps: 0, horizon: 200 }
+    }
+
+    /// Creates a pendulum with a custom episode horizon.
+    pub fn with_horizon(horizon: u32) -> Pendulum {
+        Pendulum { horizon, ..Pendulum::new() }
+    }
+
+    fn observe(&self) -> Vec<f64> {
+        vec![self.theta.cos(), self.theta.sin(), self.theta_dot]
+    }
+}
+
+impl Default for Pendulum {
+    fn default() -> Self {
+        Pendulum::new()
+    }
+}
+
+/// Wraps an angle into `[-π, π]`.
+fn angle_normalize(x: f64) -> f64 {
+    let two_pi = 2.0 * std::f64::consts::PI;
+    let wrapped = (x + std::f64::consts::PI).rem_euclid(two_pi);
+    wrapped - std::f64::consts::PI
+}
+
+impl Environment for Pendulum {
+    fn reset(&mut self, seed: u64) -> Vec<f64> {
+        let mut rng = EnvRng::new(seed);
+        self.theta = rng.uniform(-std::f64::consts::PI, std::f64::consts::PI);
+        self.theta_dot = rng.uniform(-1.0, 1.0);
+        self.steps = 0;
+        self.observe()
+    }
+
+    fn step(&mut self, action: &[f64]) -> (Vec<f64>, f64, bool) {
+        let u = action.first().copied().unwrap_or(0.0).clamp(-MAX_TORQUE, MAX_TORQUE);
+        let th = angle_normalize(self.theta);
+        let cost = th * th + 0.1 * self.theta_dot * self.theta_dot + 0.001 * u * u;
+
+        // Gym's semi-implicit Euler integration of the pendulum ODE.
+        let new_theta_dot = (self.theta_dot
+            + (3.0 * GRAVITY / (2.0 * LENGTH) * self.theta.sin()
+                + 3.0 / (MASS * LENGTH * LENGTH) * u)
+                * DT)
+            .clamp(-MAX_SPEED, MAX_SPEED);
+        self.theta += new_theta_dot * DT;
+        self.theta_dot = new_theta_dot;
+        self.steps += 1;
+
+        (self.observe(), -cost, self.steps >= self.horizon)
+    }
+
+    fn obs_dim(&self) -> usize {
+        3
+    }
+
+    fn action_dim(&self) -> usize {
+        1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reset_is_deterministic_per_seed() {
+        let mut a = Pendulum::new();
+        let mut b = Pendulum::new();
+        assert_eq!(a.reset(5), b.reset(5));
+        assert_ne!(a.reset(5), a.reset(6));
+    }
+
+    #[test]
+    fn observation_is_on_unit_circle() {
+        let mut env = Pendulum::new();
+        let obs = env.reset(1);
+        assert!((obs[0] * obs[0] + obs[1] * obs[1] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn episode_terminates_at_horizon() {
+        let mut env = Pendulum::with_horizon(50);
+        env.reset(3);
+        let mut steps = 0;
+        loop {
+            let (_, _, done) = env.step(&[0.5]);
+            steps += 1;
+            if done {
+                break;
+            }
+            assert!(steps < 1000, "episode never terminated");
+        }
+        assert_eq!(steps, 50);
+    }
+
+    #[test]
+    fn rewards_are_negative_costs_and_bounded() {
+        // Max cost = π² + 0.1·8² + 0.001·2² ≈ 16.27.
+        let mut env = Pendulum::new();
+        env.reset(9);
+        for _ in 0..200 {
+            let (_, r, _) = env.step(&[2.0]);
+            assert!(r <= 0.0);
+            assert!(r >= -16.28);
+        }
+    }
+
+    #[test]
+    fn velocity_is_clamped() {
+        let mut env = Pendulum::new();
+        env.reset(2);
+        for _ in 0..500 {
+            let (obs, _, _) = env.step(&[MAX_TORQUE]);
+            assert!(obs[2].abs() <= MAX_SPEED + 1e-9);
+        }
+    }
+
+    #[test]
+    fn torque_is_clamped() {
+        // An absurd torque behaves identically to the max torque.
+        let mut a = Pendulum::new();
+        let mut b = Pendulum::new();
+        a.reset(4);
+        b.reset(4);
+        let (oa, ra, _) = a.step(&[1000.0]);
+        let (ob, rb, _) = b.step(&[MAX_TORQUE]);
+        assert_eq!(oa, ob);
+        assert_eq!(ra, rb);
+    }
+
+    #[test]
+    fn angle_normalize_wraps() {
+        use std::f64::consts::PI;
+        assert!((angle_normalize(0.0)).abs() < 1e-12);
+        assert!((angle_normalize(2.0 * PI)).abs() < 1e-12);
+        assert!((angle_normalize(3.0 * PI) - PI).abs() < 1e-9 || (angle_normalize(3.0 * PI) + PI).abs() < 1e-9);
+        assert!(angle_normalize(100.0).abs() <= PI + 1e-9);
+    }
+}

@@ -1,0 +1,26 @@
+//! `ray-transport`: the simulated cluster network.
+//!
+//! The paper's cluster runs on AWS with 25Gbps Ethernet; object transfers
+//! are striped "across multiple TCP connections" (§4.2.4), which is why
+//! Ray's allreduce outperforms single-threaded OpenMPI transfers (Fig. 12a).
+//! This crate stands in for that network inside one process:
+//!
+//! - [`model::LinkModel`] turns (bytes, connection count) into a wire time
+//!   using per-connection bandwidth plus a one-way latency, with a NIC cap.
+//! - [`fabric::Fabric`] applies the model with real sleeps and real lane
+//!   contention (a per-directed-link [`sync::Semaphore`] of connection
+//!   lanes), so concurrent transfers share capacity like TCP flows do.
+//! - Failure injection: nodes can be marked down and links partitioned;
+//!   transfers involving them fail with [`ray_common::RayError::NodeDead`].
+//!
+//! Payload bytes are actually copied end-to-end by the object store, so the
+//! `memcpy` component of transfer cost is real; only the wire time is
+//! modeled.
+
+pub mod fabric;
+pub mod model;
+pub mod sync;
+
+pub use fabric::Fabric;
+pub use model::LinkModel;
+pub use sync::Semaphore;

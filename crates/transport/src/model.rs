@@ -1,0 +1,131 @@
+//! Analytic link-cost model.
+//!
+//! A transfer of `n` bytes over `k` connections takes
+//! `latency + n / min(k · per_connection_bw, nic_bw)` — one latency because
+//! chunks pipeline, bandwidth scaled by the stripe width up to the NIC cap.
+//! This reproduces the paper's Fig. 12a mechanism: one connection (OpenMPI's
+//! single send/recv thread, or "Ray*") caps at per-connection bandwidth,
+//! while striping approaches the NIC limit.
+
+use std::time::Duration;
+
+use ray_common::config::TransportConfig;
+
+/// Cost model for one directed link.
+#[derive(Debug, Clone)]
+pub struct LinkModel {
+    /// One-way propagation latency.
+    pub latency: Duration,
+    /// Bandwidth of a single connection, bytes/second.
+    pub per_connection_bw: u64,
+    /// Aggregate cap across all connections (the "NIC"), bytes/second.
+    pub nic_bw: u64,
+    /// Maximum connection lanes on the link.
+    pub max_connections: usize,
+}
+
+impl LinkModel {
+    /// Builds the model from a [`TransportConfig`].
+    ///
+    /// The NIC cap is fixed at 12.5× the per-connection bandwidth, mirroring
+    /// the paper's setup where one TCP stream cannot saturate the 25Gbps
+    /// link (they observe OpenMPI's single-threaded transfers losing 1.5–2×
+    /// to Ray's striped ones).
+    pub fn from_config(cfg: &TransportConfig) -> Self {
+        LinkModel {
+            latency: cfg.latency,
+            per_connection_bw: cfg.bandwidth_bytes_per_sec,
+            nic_bw: cfg.bandwidth_bytes_per_sec.saturating_mul(25) / 2,
+            max_connections: cfg.connections_per_transfer.max(1) * 2,
+        }
+    }
+
+    /// Effective bandwidth for a transfer striped over `connections` lanes.
+    pub fn effective_bandwidth(&self, connections: usize) -> u64 {
+        let conns = connections.clamp(1, self.max_connections) as u64;
+        (self.per_connection_bw.saturating_mul(conns)).min(self.nic_bw)
+    }
+
+    /// Wire time for `bytes` over `connections` lanes.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use ray_common::config::TransportConfig;
+    /// use ray_transport::LinkModel;
+    /// let m = LinkModel::from_config(&TransportConfig::default());
+    /// let one = m.transfer_duration(100 << 20, 1);
+    /// let eight = m.transfer_duration(100 << 20, 8);
+    /// assert!(one > eight);
+    /// ```
+    pub fn transfer_duration(&self, bytes: usize, connections: usize) -> Duration {
+        let bw = self.effective_bandwidth(connections).max(1);
+        let wire = Duration::from_secs_f64(bytes as f64 / bw as f64);
+        self.latency + wire
+    }
+
+    /// Latency-only cost of a control-plane message.
+    pub fn control_delay(&self) -> Duration {
+        self.latency
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> LinkModel {
+        LinkModel {
+            latency: Duration::from_micros(100),
+            per_connection_bw: 1_000_000_000, // 1 GB/s per connection.
+            nic_bw: 8_000_000_000,            // 8 GB/s NIC.
+            max_connections: 16,
+        }
+    }
+
+    #[test]
+    fn striping_scales_bandwidth_until_nic_cap() {
+        let m = model();
+        assert_eq!(m.effective_bandwidth(1), 1_000_000_000);
+        assert_eq!(m.effective_bandwidth(4), 4_000_000_000);
+        assert_eq!(m.effective_bandwidth(8), 8_000_000_000);
+        // 16 connections would be 16 GB/s but the NIC caps at 8.
+        assert_eq!(m.effective_bandwidth(16), 8_000_000_000);
+    }
+
+    #[test]
+    fn duration_includes_latency_floor() {
+        let m = model();
+        let d = m.transfer_duration(0, 1);
+        assert_eq!(d, Duration::from_micros(100));
+    }
+
+    #[test]
+    fn duration_scales_linearly_with_size() {
+        let m = model();
+        let small = m.transfer_duration(1_000_000, 1);
+        let large = m.transfer_duration(10_000_000, 1);
+        let ratio = (large - m.latency).as_secs_f64() / (small - m.latency).as_secs_f64();
+        assert!((ratio - 10.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn zero_connections_treated_as_one() {
+        let m = model();
+        assert_eq!(m.effective_bandwidth(0), m.effective_bandwidth(1));
+    }
+
+    #[test]
+    fn from_config_uses_config_values() {
+        let cfg = TransportConfig {
+            latency: Duration::from_millis(1),
+            bandwidth_bytes_per_sec: 1000,
+            connections_per_transfer: 4,
+            chunk_bytes: 64,
+        };
+        let m = LinkModel::from_config(&cfg);
+        assert_eq!(m.latency, Duration::from_millis(1));
+        assert_eq!(m.per_connection_bw, 1000);
+        assert!(m.max_connections >= 4);
+    }
+}

@@ -1,0 +1,35 @@
+use ray_repro::common::RayConfig;
+use ray_repro::rl::allreduce::{chunk_bounds, create_ring, register};
+use ray_repro::ray::task::Arg;
+use ray_repro::ray::Cluster;
+use ray_repro::codec::Blob;
+use std::time::Instant;
+
+fn main() {
+    let workers = 4;
+    let elements = (16usize << 20) / 8;
+    let mut cfg = RayConfig::builder().nodes(workers).workers_per_node(2).build();
+    cfg.transport.connections_per_transfer = 8;
+    let cluster = Cluster::start(cfg).unwrap();
+    register(&cluster);
+    let ctx = cluster.driver();
+    let buffers: Vec<Vec<f64>> = (0..workers).map(|w| vec![w as f64; elements]).collect();
+    let handles = create_ring(&ctx, workers, buffers).unwrap();
+    let n = workers;
+    let bounds = chunk_bounds(elements, n);
+    for step in 0..2 {
+        for i in 0..n {
+            let c = (i + n - step) % n;
+            let (lo, hi) = bounds[c];
+            let t = Instant::now();
+            let r = ctx.call_actor::<Blob>(&handles[i], "chunk",
+                vec![Arg::value(&(lo as u64)).unwrap(), Arg::value(&(hi as u64)).unwrap()]).unwrap();
+            let d_chunk = t.elapsed();
+            let t = Instant::now();
+            let _a = ctx.call_actor::<u8>(&handles[(i+1)%n], "reduce",
+                vec![Arg::value(&(lo as u64)).unwrap(), Arg::value(&(hi as u64)).unwrap(), Arg::from_ref(&r)]).unwrap();
+            println!("step {step} rank {i}: submit chunk {d_chunk:?}, submit reduce {:?}", t.elapsed());
+        }
+    }
+    cluster.shutdown();
+}

@@ -1,0 +1,48 @@
+//! Evolution Strategies on rustray — the paper's §5.3.1 workload at
+//! laptop scale.
+//!
+//! Every iteration broadcasts the policy once, fans out mirrored
+//! perturbation evaluations on the Humanoid-like task, and combines the
+//! gradient through an aggregation tree of nested tasks.
+//!
+//! Run with `cargo run --release --example evolution_strategies`.
+
+use ray_rl::es::{train_es, EsConfig};
+use rustray::{Cluster, RayConfig};
+
+fn main() {
+    let cluster = Cluster::start(
+        RayConfig::builder().nodes(2).workers_per_node(4).build(),
+    )
+    .expect("start cluster");
+
+    let cfg = EsConfig {
+        env: "humanoid-light".into(),
+        num_workers: 32,
+        episodes_per_eval: 1,
+        max_steps: 60,
+        sigma: 0.3,
+        lr: 0.4,
+        iterations: 20,
+        target_score: Some(180.0),
+        eval_episodes: 3,
+        agg_leaf: 8,
+        agg_fan_in: 4,
+        seed: 42,
+    };
+    println!(
+        "ES on {}: {} mirrored perturbations/iter, aggregation tree fan-in {}",
+        cfg.env, cfg.num_workers, cfg.agg_fan_in
+    );
+
+    let report = train_es(&cluster, &cfg).expect("training run");
+    for (i, score) in report.scores.iter().enumerate() {
+        println!("iter {i:>3}: eval score {score:>8.1}");
+    }
+    match report.solved_at {
+        Some(i) => println!("reached target score at iteration {i} in {:?}", report.wall),
+        None => println!("best score {:.1} after {:?}", report.best(), report.wall),
+    }
+
+    cluster.shutdown();
+}

