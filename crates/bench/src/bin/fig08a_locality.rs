@@ -32,6 +32,7 @@ fn mean_task_latency(policy: SchedulerPolicy, size: usize, tasks: usize) -> Dura
         bandwidth_bytes_per_sec: 750 << 20,
         connections_per_transfer: 4,
         chunk_bytes: 512 * 1024,
+        ..TransportConfig::default()
     };
     cfg.object_store.capacity_bytes = 3 << 30;
     let cluster = Cluster::start(cfg).expect("start cluster");

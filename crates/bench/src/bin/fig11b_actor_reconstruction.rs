@@ -53,6 +53,7 @@ fn run(actors: usize, methods: usize, nodes: usize, checkpoint: Option<u64>) -> 
         lineage_enabled: true,
         max_reconstruction_attempts: 3,
         actor_checkpoint_interval: checkpoint,
+        ..FaultConfig::default()
     };
     // Spread actor creations across the cluster (the paper's 2000 actors
     // over 10 nodes): route placement through the global scheduler, whose

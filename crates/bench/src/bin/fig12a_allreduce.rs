@@ -26,6 +26,7 @@ fn transport(connections: usize) -> TransportConfig {
         bandwidth_bytes_per_sec: 16 << 20,
         connections_per_transfer: connections,
         chunk_bytes: 512 * 1024,
+        ..TransportConfig::default()
     }
 }
 

@@ -44,6 +44,8 @@ pub struct TransportConfig {
     pub connections_per_transfer: usize,
     /// Chunk size for striping.
     pub chunk_bytes: usize,
+    /// Seeded fault injection applied to every message on the fabric.
+    pub chaos: ChaosConfig,
 }
 
 impl Default for TransportConfig {
@@ -55,7 +57,45 @@ impl Default for TransportConfig {
             bandwidth_bytes_per_sec: 2 * 1024 * 1024 * 1024,
             connections_per_transfer: 8,
             chunk_bytes: 512 * 1024,
+            chaos: ChaosConfig::default(),
         }
+    }
+}
+
+/// Seeded fault injection on the fabric: per-message drop probability and
+/// extra-delay injection. Disabled by default (all probabilities zero);
+/// chaos tests turn it on to exercise the retry and failure-detection
+/// paths deterministically.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ChaosConfig {
+    /// Probability in `[0, 1]` that any single message (transfer, control
+    /// hop, or heartbeat) is dropped on the wire.
+    pub drop_probability: f64,
+    /// Probability in `[0, 1]` that a message is delayed by `extra_delay`
+    /// on top of its modeled cost.
+    pub delay_probability: f64,
+    /// The extra delay injected when the delay coin comes up.
+    pub extra_delay: Duration,
+    /// Seed for the injection RNG; the same seed yields the same
+    /// drop/delay sequence.
+    pub seed: u64,
+}
+
+impl Default for ChaosConfig {
+    fn default() -> Self {
+        ChaosConfig {
+            drop_probability: 0.0,
+            delay_probability: 0.0,
+            extra_delay: Duration::ZERO,
+            seed: 0,
+        }
+    }
+}
+
+impl ChaosConfig {
+    /// Whether any injection is configured at all (fast path check).
+    pub fn is_active(&self) -> bool {
+        self.drop_probability > 0.0 || self.delay_probability > 0.0
     }
 }
 
@@ -149,6 +189,15 @@ pub struct FaultConfig {
     /// Checkpoint an actor every N method calls (`None` = never), bounding
     /// replay on failure (paper Fig. 11b).
     pub actor_checkpoint_interval: Option<u64>,
+    /// Whether the heartbeat failure detector runs (paper §4.2.2: node
+    /// failure is *discovered* via missed heartbeats, not declared by an
+    /// omniscient test harness).
+    pub detector_enabled: bool,
+    /// Suspicion threshold: a live node whose last heartbeat is older than
+    /// this is declared dead by the monitor. Must comfortably exceed
+    /// `scheduler.heartbeat_interval`; the generous default avoids false
+    /// positives on heavily loaded CI machines, chaos tests tighten it.
+    pub heartbeat_timeout: Duration,
 }
 
 impl Default for FaultConfig {
@@ -157,6 +206,8 @@ impl Default for FaultConfig {
             lineage_enabled: true,
             max_reconstruction_attempts: 3,
             actor_checkpoint_interval: None,
+            detector_enabled: true,
+            heartbeat_timeout: Duration::from_secs(2),
         }
     }
 }
@@ -236,6 +287,20 @@ impl RayConfig {
         }
         if self.transport.chunk_bytes == 0 {
             return Err("transport.chunk_bytes must be >= 1".into());
+        }
+        let chaos = &self.transport.chaos;
+        if !(0.0..=1.0).contains(&chaos.drop_probability) {
+            return Err("transport.chaos.drop_probability must be in [0, 1]".into());
+        }
+        if !(0.0..=1.0).contains(&chaos.delay_probability) {
+            return Err("transport.chaos.delay_probability must be in [0, 1]".into());
+        }
+        if self.fault.detector_enabled
+            && self.fault.heartbeat_timeout < self.scheduler.heartbeat_interval * 2
+        {
+            return Err(
+                "fault.heartbeat_timeout must be at least 2x scheduler.heartbeat_interval".into(),
+            );
         }
         Ok(())
     }
@@ -390,5 +455,32 @@ mod tests {
     fn total_workers() {
         let cfg = RayConfig::builder().nodes(3).workers_per_node(4).build();
         assert_eq!(cfg.total_workers(), 12);
+    }
+
+    #[test]
+    fn chaos_defaults_are_inert() {
+        let chaos = ChaosConfig::default();
+        assert!(!chaos.is_active());
+        let mut active = chaos.clone();
+        active.drop_probability = 0.1;
+        assert!(active.is_active());
+    }
+
+    #[test]
+    fn validation_catches_bad_chaos_probability() {
+        let mut cfg = RayConfig::default();
+        cfg.transport.chaos.drop_probability = 1.5;
+        assert!(cfg.validate().is_err());
+        cfg.transport.chaos.drop_probability = 0.5;
+        assert!(cfg.validate().is_ok());
+    }
+
+    #[test]
+    fn validation_catches_tight_heartbeat_timeout() {
+        let mut cfg = RayConfig::default();
+        cfg.fault.heartbeat_timeout = cfg.scheduler.heartbeat_interval;
+        assert!(cfg.validate().is_err());
+        cfg.fault.detector_enabled = false;
+        assert!(cfg.validate().is_ok());
     }
 }

@@ -39,6 +39,9 @@ pub enum RayError {
     /// A component was asked to operate after shutdown, or a peer channel
     /// closed underneath a request.
     Shutdown(String),
+    /// A message was dropped on the wire by fault injection (or simulated
+    /// congestion). Transient: the sender may retry.
+    MessageDropped,
     /// Invalid argument or configuration.
     Invalid(String),
     /// An I/O error (GCS flushing, spill files).
@@ -65,6 +68,7 @@ impl fmt::Display for RayError {
                 write!(f, "object {id} already exists with different contents")
             }
             RayError::Shutdown(what) => write!(f, "component shut down: {what}"),
+            RayError::MessageDropped => write!(f, "message dropped on the wire"),
             RayError::Invalid(msg) => write!(f, "invalid argument: {msg}"),
             RayError::Io(msg) => write!(f, "io error: {msg}"),
         }

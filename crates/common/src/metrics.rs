@@ -159,6 +159,17 @@ pub mod names {
     pub const GCS_ENTRIES_FLUSHED: &str = "gcs_entries_flushed";
     /// Bytes currently resident across object stores.
     pub const STORE_RESIDENT_BYTES: &str = "store_resident_bytes";
+    /// Heartbeats the failure detector observed as overdue (one per node
+    /// per monitor pass while a live node's heartbeat is stale).
+    pub const HEARTBEATS_MISSED: &str = "heartbeats_missed";
+    /// Nodes the failure detector declared dead (vs. harness `kill_node`).
+    pub const NODES_DECLARED_DEAD: &str = "nodes_declared_dead";
+    /// Messages dropped on the fabric by chaos injection.
+    pub const MESSAGES_DROPPED: &str = "messages_dropped";
+    /// Object transfers retried after a transient (dropped-message) error.
+    pub const TRANSFER_RETRIES: &str = "transfer_retries";
+    /// GCS client operations retried after a transient error.
+    pub const GCS_RETRIES: &str = "gcs_retries";
 }
 
 #[cfg(test)]

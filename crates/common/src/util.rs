@@ -1,4 +1,7 @@
-//! Small shared helpers: hashing and online estimators.
+//! Small shared helpers: hashing, online estimators, deterministic RNG,
+//! and retry backoff.
+
+use std::time::Duration;
 
 /// FNV-1a 64-bit hash.
 ///
@@ -118,6 +121,104 @@ pub fn human_bytes(n: u64) -> String {
     }
 }
 
+/// A tiny deterministic RNG (xorshift64*), the same generator the global
+/// scheduler uses for tie-breaking. Not cryptographic; seeded components
+/// use it so runs are reproducible.
+///
+/// # Examples
+///
+/// ```
+/// use ray_common::util::DetRng;
+/// let mut a = DetRng::new(7);
+/// let mut b = DetRng::new(7);
+/// assert_eq!(a.next_u64(), b.next_u64());
+/// ```
+#[derive(Debug, Clone)]
+pub struct DetRng {
+    state: u64,
+}
+
+impl DetRng {
+    /// Creates a generator; any seed (including 0) is fine.
+    pub fn new(seed: u64) -> DetRng {
+        DetRng { state: seed | 1 }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.state = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+
+    /// Uniform draw in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Uniform draw in `[0, n)`; returns 0 when `n == 0`.
+    pub fn next_below(&mut self, n: u64) -> u64 {
+        if n == 0 {
+            0
+        } else {
+            self.next_u64() % n
+        }
+    }
+}
+
+/// Exponential backoff with deterministic jitter for transient-failure
+/// retries (dropped messages, GCS write timeouts during reconfiguration).
+///
+/// Each call to [`Backoff::next_delay`] returns `base * 2^attempt` capped
+/// at `cap`, scaled by a jitter factor in `[0.5, 1.0)` drawn from a seeded
+/// RNG — deterministic per seed, decorrelated across callers.
+///
+/// # Examples
+///
+/// ```
+/// use std::time::Duration;
+/// use ray_common::util::Backoff;
+/// let mut b = Backoff::new(Duration::from_millis(1), Duration::from_millis(8), 42);
+/// let first = b.next_delay();
+/// let second = b.next_delay();
+/// assert!(first >= Duration::from_micros(500));
+/// assert!(second <= Duration::from_millis(8));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Backoff {
+    base: Duration,
+    cap: Duration,
+    attempt: u32,
+    rng: DetRng,
+}
+
+impl Backoff {
+    /// Creates a backoff schedule.
+    pub fn new(base: Duration, cap: Duration, seed: u64) -> Backoff {
+        Backoff { base, cap, attempt: 0, rng: DetRng::new(seed) }
+    }
+
+    /// Number of delays handed out so far.
+    pub fn attempt(&self) -> u32 {
+        self.attempt
+    }
+
+    /// The next delay to sleep before retrying.
+    pub fn next_delay(&mut self) -> Duration {
+        let exp = self.attempt.min(16);
+        self.attempt += 1;
+        let raw = self
+            .base
+            .saturating_mul(1u32 << exp)
+            .min(self.cap);
+        let jitter = 0.5 + 0.5 * self.rng.next_f64();
+        raw.mul_f64(jitter)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -162,6 +263,48 @@ mod tests {
         let e = Ewma::new(0.5);
         assert!(!e.is_primed());
         assert_eq!(e.value_or(7.0), 7.0);
+    }
+
+    #[test]
+    fn det_rng_is_deterministic_per_seed() {
+        let mut a = DetRng::new(123);
+        let mut b = DetRng::new(123);
+        let mut c = DetRng::new(124);
+        let xs: Vec<u64> = (0..16).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..16).map(|_| b.next_u64()).collect();
+        let zs: Vec<u64> = (0..16).map(|_| c.next_u64()).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn det_rng_f64_in_unit_interval() {
+        let mut r = DetRng::new(9);
+        for _ in 0..1000 {
+            let x = r.next_f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn backoff_grows_and_caps() {
+        let mut b = Backoff::new(Duration::from_millis(1), Duration::from_millis(10), 1);
+        let delays: Vec<Duration> = (0..8).map(|_| b.next_delay()).collect();
+        // Jittered within [0.5, 1.0) of the raw exponential, capped at 10ms.
+        assert!(delays[0] >= Duration::from_micros(500));
+        assert!(delays[0] < Duration::from_millis(1));
+        assert!(delays[7] <= Duration::from_millis(10));
+        assert!(delays[7] >= Duration::from_millis(5));
+        assert_eq!(b.attempt(), 8);
+    }
+
+    #[test]
+    fn backoff_is_deterministic_per_seed() {
+        let mut a = Backoff::new(Duration::from_millis(1), Duration::from_secs(1), 77);
+        let mut b = Backoff::new(Duration::from_millis(1), Duration::from_secs(1), 77);
+        for _ in 0..6 {
+            assert_eq!(a.next_delay(), b.next_delay());
+        }
     }
 
     #[test]

@@ -173,12 +173,24 @@ impl ActorHost {
             match msg {
                 ActorMsg::Invoke(spec) => {
                     if self.shared.node(self.node).is_none() {
-                        return; // Node died under us.
+                        // Node died under us (abrupt crash): kick recovery
+                        // and hand the method back to the router so the
+                        // rebuilt incarnation runs it, instead of letting
+                        // the caller's future dangle forever.
+                        let _ = rebuild_actor(&self.shared, self.actor);
+                        let _ = self.shared.actors.invoke(self.actor, spec);
+                        break;
                     }
                     self.execute(&spec, /* replay: */ false);
                 }
-                ActorMsg::Stop => return,
+                ActorMsg::Stop => break,
             }
+        }
+        // Re-route anything still in this host's channel. Sends while the
+        // router said Alive strictly precede the recovery Stop, so every
+        // remaining Invoke belongs to the next incarnation's queue.
+        while let Ok(ActorMsg::Invoke(spec)) = rx.try_recv() {
+            let _ = self.shared.actors.invoke(self.actor, spec);
         }
     }
 
@@ -399,6 +411,11 @@ fn rebuild_actor_blocking(shared: &Arc<RuntimeShared>, actor: ActorId) -> RayRes
         submitted_from: record.node,
     };
     let node = loop {
+        // A cluster tearing down has no feasible node and never will:
+        // bail instead of spinning on a detached recovery thread.
+        if shared.shutting_down.load(std::sync::atomic::Ordering::SeqCst) {
+            return Err(RayError::Shutdown("cluster stopping".into()));
+        }
         match shared.global.place(&desc)? {
             Some(n) => break n,
             None => std::thread::sleep(std::time::Duration::from_millis(5)),
@@ -423,11 +440,16 @@ fn rebuild_actor_blocking(shared: &Arc<RuntimeShared>, actor: ActorId) -> RayRes
 
     // Replay the stateful-edge chain from the checkpoint (Fig. 11b: "only
     // 500 methods to be re-executed, versus 10k without checkpointing").
+    // The method log itself bounds replay, not the record's
+    // `methods_invoked` hint: a crash can land after a method was logged
+    // but before the record was republished, and that method must still be
+    // applied (exactly once) with its outputs re-stored.
     let mut host = ActorHost { shared: shared.clone(), actor, node, instance, seq: start_seq };
-    for seq in start_seq..record.methods_invoked {
+    let mut seq = start_seq;
+    loop {
         let task = match shared.gcs_client.get_actor_method(actor, seq)? {
             Some(t) => t,
-            None => break, // Log hole (crashed mid-log); stop replay here.
+            None => break, // End of log (or a hole from a crash mid-log).
         };
         let spec_bytes = match shared.gcs_client.get_task(task)? {
             Some(b) => b,
@@ -435,12 +457,14 @@ fn rebuild_actor_blocking(shared: &Arc<RuntimeShared>, actor: ActorId) -> RayRes
         };
         let spec = TaskSpec::decode(&spec_bytes)?;
         host.execute(&spec, /* replay: */ true);
+        seq += 1;
     }
 
     // Publish the new placement and go live.
     let mut record = record;
     record.node = node;
     record.state = ActorState::Alive;
+    record.methods_invoked = seq;
     shared.gcs_client.put_actor(&record)?;
     let ActorHost { instance, seq, .. } = host;
     start_host(shared, node, actor, instance, seq);

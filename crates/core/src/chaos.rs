@@ -1,0 +1,264 @@
+//! Deterministic seeded chaos schedules for robustness testing.
+//!
+//! A [`ChaosSchedule`] is a time-ordered list of faults — orderly kills,
+//! abrupt crashes, restarts, link partitions, and heals — applied to a
+//! running [`Cluster`]. Schedules are either hand-written
+//! ([`ChaosSchedule::from_events`]) or generated from a seed
+//! ([`ChaosSchedule::generate`]), and generation is fully deterministic:
+//! the same seed always yields the same faults at the same offsets, which
+//! is what makes a chaos failure reproducible by rerunning the test.
+//!
+//! Generated schedules keep two guarantees so workloads can be expected to
+//! finish: node 0 (the driver's home) is never touched, and every fault is
+//! paired with a later repair (kill → restart, partition → heal). The
+//! [`repair`] helper restores a cluster to full strength after a schedule
+//! runs, for quiesce assertions.
+
+use std::time::{Duration, Instant};
+
+use ray_common::util::DetRng;
+use ray_common::NodeId;
+
+use crate::cluster::Cluster;
+
+/// One fault (or repair) applied to a running cluster.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChaosAction {
+    /// Orderly kill: the death protocol runs inline ([`Cluster::kill_node`]).
+    Kill(NodeId),
+    /// Crash: the node vanishes silently; only the heartbeat failure
+    /// detector discovers it ([`Cluster::kill_node_abrupt`]).
+    KillAbrupt(NodeId),
+    /// Restart a previously killed node slot.
+    Restart(NodeId),
+    /// Sever the link between two nodes.
+    Partition(NodeId, NodeId),
+    /// Repair the link between two nodes.
+    Heal(NodeId, NodeId),
+}
+
+/// A chaos action with its fire time, relative to [`ChaosSchedule::run`]'s
+/// start.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChaosEvent {
+    /// Offset from schedule start.
+    pub at: Duration,
+    /// What happens then.
+    pub action: ChaosAction,
+}
+
+/// A time-ordered schedule of chaos events.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ChaosSchedule {
+    events: Vec<ChaosEvent>,
+}
+
+impl ChaosSchedule {
+    /// Builds a schedule from explicit events (sorted by fire time; ties
+    /// keep their given order).
+    pub fn from_events(mut events: Vec<ChaosEvent>) -> ChaosSchedule {
+        events.sort_by_key(|e| e.at);
+        ChaosSchedule { events }
+    }
+
+    /// The events, in fire order.
+    pub fn events(&self) -> &[ChaosEvent] {
+        &self.events
+    }
+
+    /// Generates `faults` seeded faults over roughly `duration` against a
+    /// cluster of `nodes` nodes. Deterministic per seed. Node 0 is never a
+    /// victim, every kill gets a later restart, and every partition burst
+    /// gets a later heal + restart (an isolated node loses the heartbeat
+    /// majority, is declared dead, and must be brought back explicitly).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use std::time::Duration;
+    /// use rustray::chaos::ChaosSchedule;
+    ///
+    /// let a = ChaosSchedule::generate(42, 4, Duration::from_secs(2), 3);
+    /// let b = ChaosSchedule::generate(42, 4, Duration::from_secs(2), 3);
+    /// assert_eq!(a, b);
+    /// assert!(!a.events().is_empty());
+    /// ```
+    pub fn generate(seed: u64, nodes: u32, duration: Duration, faults: usize) -> ChaosSchedule {
+        if nodes < 2 {
+            return ChaosSchedule::default();
+        }
+        let mut rng = DetRng::new(seed);
+        let mut events = Vec::new();
+        for _ in 0..faults {
+            // Fire in the first 70% of the window; repair 10–25% later, so
+            // the tail is all recovery and the cluster converges.
+            let at = duration.mul_f64(0.7 * rng.next_f64());
+            let repair_at = at + duration.mul_f64(0.10 + 0.15 * rng.next_f64());
+            let victim = NodeId(1 + rng.next_below(u64::from(nodes - 1)) as u32);
+            match rng.next_below(3) {
+                0 => {
+                    events.push(ChaosEvent { at, action: ChaosAction::Kill(victim) });
+                    events.push(ChaosEvent { at: repair_at, action: ChaosAction::Restart(victim) });
+                }
+                1 => {
+                    events.push(ChaosEvent { at, action: ChaosAction::KillAbrupt(victim) });
+                    events.push(ChaosEvent { at: repair_at, action: ChaosAction::Restart(victim) });
+                }
+                _ => {
+                    // Full isolation: sever the victim from every peer, so
+                    // it loses the heartbeat majority and the detector
+                    // declares it dead. Heal everything later and restart.
+                    for other in 0..nodes {
+                        if other != victim.0 {
+                            events.push(ChaosEvent {
+                                at,
+                                action: ChaosAction::Partition(victim, NodeId(other)),
+                            });
+                            events.push(ChaosEvent {
+                                at: repair_at,
+                                action: ChaosAction::Heal(victim, NodeId(other)),
+                            });
+                        }
+                    }
+                    events.push(ChaosEvent {
+                        at: repair_at + Duration::from_millis(1),
+                        action: ChaosAction::Restart(victim),
+                    });
+                }
+            }
+        }
+        ChaosSchedule::from_events(events)
+    }
+
+    /// Applies the schedule to a running cluster, sleeping between events.
+    /// Blocking: run it from its own thread alongside the workload.
+    /// Restart errors (slot already live again) are ignored — overlapping
+    /// faults make them legitimate.
+    pub fn run(&self, cluster: &Cluster) {
+        let start = Instant::now();
+        for ev in &self.events {
+            let wait = ev.at.saturating_sub(start.elapsed());
+            if !wait.is_zero() {
+                std::thread::sleep(wait);
+            }
+            apply(cluster, ev.action);
+        }
+    }
+}
+
+/// Applies one action to a cluster.
+pub fn apply(cluster: &Cluster, action: ChaosAction) {
+    match action {
+        ChaosAction::Kill(n) => cluster.kill_node(n),
+        ChaosAction::KillAbrupt(n) => cluster.kill_node_abrupt(n),
+        ChaosAction::Restart(n) => {
+            let _ = cluster.restart_node(n);
+        }
+        ChaosAction::Partition(a, b) => cluster.fabric().partition(a, b),
+        ChaosAction::Heal(a, b) => cluster.fabric().heal(a, b),
+    }
+}
+
+/// Restores a cluster to full strength after a schedule: heals every link
+/// among the first `nodes` nodes and restarts every empty slot (node 0
+/// included, though generated schedules never kill it).
+pub fn repair(cluster: &Cluster, nodes: u32) {
+    for a in 0..nodes {
+        for b in (a + 1)..nodes {
+            cluster.fabric().heal(NodeId(a), NodeId(b));
+        }
+    }
+    for n in 0..nodes {
+        let _ = cluster.restart_node(NodeId(n));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let d = Duration::from_secs(3);
+        assert_eq!(ChaosSchedule::generate(7, 5, d, 6), ChaosSchedule::generate(7, 5, d, 6));
+        assert_ne!(ChaosSchedule::generate(7, 5, d, 6), ChaosSchedule::generate(8, 5, d, 6));
+    }
+
+    #[test]
+    fn events_are_time_ordered() {
+        let s = ChaosSchedule::generate(1234, 6, Duration::from_secs(2), 8);
+        let times: Vec<Duration> = s.events().iter().map(|e| e.at).collect();
+        let mut sorted = times.clone();
+        sorted.sort();
+        assert_eq!(times, sorted);
+    }
+
+    #[test]
+    fn node_zero_is_never_a_victim() {
+        for seed in [3u64, 17, 99, 2024] {
+            let s = ChaosSchedule::generate(seed, 4, Duration::from_secs(2), 10);
+            for ev in s.events() {
+                match ev.action {
+                    ChaosAction::Kill(n)
+                    | ChaosAction::KillAbrupt(n)
+                    | ChaosAction::Restart(n) => assert_ne!(n, NodeId(0), "seed {seed}"),
+                    // Partitions may involve node 0 as the far end, but
+                    // never as the isolated victim.
+                    ChaosAction::Partition(v, _) | ChaosAction::Heal(v, _) => {
+                        assert_ne!(v, NodeId(0), "seed {seed}")
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn every_kill_has_a_later_restart() {
+        for seed in [11u64, 42, 1337] {
+            let s = ChaosSchedule::generate(seed, 5, Duration::from_secs(2), 8);
+            for (i, ev) in s.events().iter().enumerate() {
+                let killed = match ev.action {
+                    ChaosAction::Kill(n) | ChaosAction::KillAbrupt(n) => n,
+                    _ => continue,
+                };
+                assert!(
+                    s.events()[i..].iter().any(|later| {
+                        later.at >= ev.at && later.action == ChaosAction::Restart(killed)
+                    }),
+                    "seed {seed}: kill of {killed} at {:?} has no later restart",
+                    ev.at
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn every_partition_has_a_later_heal() {
+        let s = ChaosSchedule::generate(77, 4, Duration::from_secs(2), 10);
+        for (i, ev) in s.events().iter().enumerate() {
+            let (a, b) = match ev.action {
+                ChaosAction::Partition(a, b) => (a, b),
+                _ => continue,
+            };
+            assert!(s.events()[i..]
+                .iter()
+                .any(|later| later.action == ChaosAction::Heal(a, b)));
+        }
+    }
+
+    #[test]
+    fn tiny_clusters_get_empty_schedules() {
+        assert!(ChaosSchedule::generate(5, 1, Duration::from_secs(1), 4).events().is_empty());
+        assert!(ChaosSchedule::generate(5, 0, Duration::from_secs(1), 4).events().is_empty());
+    }
+
+    #[test]
+    fn from_events_sorts_by_time() {
+        let s = ChaosSchedule::from_events(vec![
+            ChaosEvent { at: Duration::from_millis(50), action: ChaosAction::Kill(NodeId(2)) },
+            ChaosEvent { at: Duration::from_millis(10), action: ChaosAction::KillAbrupt(NodeId(1)) },
+        ]);
+        assert_eq!(s.events()[0].at, Duration::from_millis(10));
+        assert_eq!(s.events()[1].at, Duration::from_millis(50));
+    }
+}

@@ -6,6 +6,7 @@
 //! simulated network fabric. Nodes can be killed and restarted at runtime
 //! to drive the fault-tolerance experiments (Fig. 10, Fig. 11).
 
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -21,8 +22,9 @@ use ray_object_store::transfer::{StoreDirectory, TransferManager};
 use ray_scheduler::{GlobalScheduler, LoadTable};
 use ray_transport::Fabric;
 
-use crate::actor::{self, ActorRouter};
+use crate::actor::ActorRouter;
 use crate::context::RayContext;
+use crate::failure;
 use crate::global_loop::start_global;
 use crate::node::start_node;
 use crate::registry::{ActorInstance, FunctionRegistry};
@@ -58,7 +60,7 @@ impl Cluster {
         // Node-slot capacity leaves headroom for add_node/restart cycles.
         let capacity = config.num_nodes * 2 + 8;
 
-        let fabric = Fabric::new(capacity, &config.transport);
+        let fabric = Fabric::new_with_metrics(capacity, &config.transport, metrics.clone());
         let gcs = Gcs::start_with_metrics(&config.gcs, metrics.clone())?;
         let gcs_client = gcs.client();
         let directory = StoreDirectory::new();
@@ -95,6 +97,8 @@ impl Cluster {
             queue_lens: (0..capacity).map(|_| AtomicUsize::new(0)).collect(),
             inflight: InflightTable::new(),
             actors: ActorRouter::new(),
+            stalled: Mutex::new(HashMap::new()),
+            topology: Mutex::new(()),
             shutting_down: AtomicBool::new(false),
             driver_counter: AtomicU64::new(1),
         });
@@ -232,10 +236,22 @@ impl Cluster {
     // Topology control (fault injection + elasticity).
     // ------------------------------------------------------------------
 
-    /// Kills a node: its object store contents, queued tasks, and hosted
-    /// actors are lost; lineage reconstruction and actor rebuild recover
-    /// what consumers need (paper Fig. 11).
+    /// Kills a node with an announcement: its object store contents,
+    /// queued tasks, and hosted actors are lost, and the full death
+    /// protocol (GCS mark, directory removal, actor recovery) runs inline;
+    /// lineage reconstruction and actor rebuild recover what consumers
+    /// need (paper Fig. 11).
     pub fn kill_node(&self, node: NodeId) {
+        failure::declare_node_dead(&self.shared, node);
+    }
+
+    /// Kills a node *abruptly*: the process vanishes mid-flight with no
+    /// cleanup of any kind — no GCS death mark, no store/directory
+    /// removal, no actor recovery. The rest of the cluster still believes
+    /// the node is alive until the heartbeat failure detector notices its
+    /// silence and runs the death protocol itself (paper §4.2.2's
+    /// monitor). This is the crash-failure mode the chaos harness uses.
+    pub fn kill_node_abrupt(&self, node: NodeId) {
         let handle = {
             let mut nodes = self.shared.nodes.write();
             match nodes.get_mut(node.index()).and_then(|s| s.take()) {
@@ -244,18 +260,15 @@ impl Cluster {
             }
         };
         handle.alive.store(false, Ordering::SeqCst);
+        // The machine is gone: nothing can reach it (and it can no longer
+        // deliver heartbeats), but nobody is told.
         self.shared.fabric.kill_node(node);
-        self.shared.directory.unregister(node);
-        handle.store.clear();
-        self.shared.load.mark_dead(node);
-        let _ = self.shared.gcs_client.mark_node_dead(node);
         let _ = handle.tx.send(NodeMsg::Shutdown);
-        // Hosted actors move elsewhere, replaying from checkpoints.
-        actor::recover_actors_on(&self.shared, node);
     }
 
     /// Restarts a previously killed node slot with a fresh (empty) store.
     pub fn restart_node(&self, node: NodeId) -> RayResult<()> {
+        let _topology = self.shared.topology.lock();
         {
             let nodes = self.shared.nodes.read();
             if nodes.get(node.index()).map_or(false, |s| s.is_some()) {
@@ -271,6 +284,9 @@ impl Cluster {
 
     /// Adds a brand-new node (elastic scale-out), returning its ID.
     pub fn add_node(&self) -> RayResult<NodeId> {
+        // The slot scan and the start must be atomic or two concurrent
+        // add_node/restart_node calls can claim the same slot.
+        let _topology = self.shared.topology.lock();
         let idx = {
             let nodes = self.shared.nodes.read();
             let mut idx = nodes.len();

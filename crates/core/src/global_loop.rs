@@ -9,17 +9,19 @@
 
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use crossbeam_channel::{Receiver, RecvTimeoutError};
 
 use ray_common::NodeId;
 use ray_scheduler::TaskDescriptor;
 
+use crate::failure;
 use crate::runtime::{GlobalMsg, RuntimeShared};
 use crate::task::TaskSpec;
 
-/// Retry cadence for tasks that could not be placed.
+/// Retry cadence for tasks that could not be placed; also the failure
+/// detector's sweep cadence (well under any sane heartbeat timeout).
 const RETRY_EVERY: Duration = Duration::from_millis(5);
 
 /// Spawns the global scheduler thread.
@@ -40,6 +42,7 @@ fn global_loop(shared: Arc<RuntimeShared>, rx: Receiver<GlobalMsg>) {
     // behind one scheduler thread — the paper's global scheduler is
     // replicated ("we can instantiate more replicas").
     let delayed = !shared.config.scheduler.added_decision_delay.is_zero();
+    let mut last_detect = Instant::now();
     loop {
         match rx.recv_timeout(RETRY_EVERY) {
             Ok(GlobalMsg::Forward(spec, from)) => {
@@ -68,6 +71,12 @@ fn global_loop(shared: Arc<RuntimeShared>, rx: Receiver<GlobalMsg>) {
                     pending.push(unplaced);
                 }
             }
+        }
+        // The failure detector rides this thread: sweep heartbeat ages at
+        // the retry cadence even when placements keep the loop busy.
+        if last_detect.elapsed() >= RETRY_EVERY {
+            failure::run_detector_pass(&shared);
+            last_detect = Instant::now();
         }
     }
 }

@@ -42,12 +42,17 @@
 //! Task outputs are reconstructed through lineage stored in the GCS;
 //! actors are rebuilt from checkpoints plus replay of the stateful-edge
 //! method chain; the GCS itself survives replica failures through chain
-//! replication. See `tests/` at the workspace root for end-to-end
-//! recovery scenarios reproducing paper Fig. 11.
+//! replication. Node death is *discovered* by a heartbeat failure
+//! detector (see [`chaos`] and DESIGN.md §6): silent crashes and
+//! partitions suppress heartbeats, the monitor declares the node dead,
+//! and the same recovery machinery runs. See `tests/` at the workspace
+//! root for end-to-end recovery scenarios reproducing paper Fig. 11.
 
 pub mod actor;
+pub mod chaos;
 pub mod cluster;
 pub mod context;
+mod failure;
 pub mod global_loop;
 pub mod inspect;
 pub mod lineage;

@@ -22,7 +22,7 @@ use bytes::Bytes;
 use ray_common::{NodeId, ObjectId, RayError, RayResult};
 
 use crate::actor;
-use crate::runtime::RuntimeShared;
+use crate::runtime::{RuntimeShared, StalledEntry};
 use crate::task::{TaskKind, TaskSpec};
 
 /// Per-round fetch window: long enough to cover scheduling + transfer of a
@@ -51,7 +51,6 @@ pub(crate) fn ensure_object_at_deadline(
     deadline: Duration,
 ) -> RayResult<Bytes> {
     let overall = Instant::now() + deadline;
-    let mut attempts = 0usize;
     loop {
         let round = FETCH_ROUND.min(overall.saturating_duration_since(Instant::now()));
         if round.is_zero() {
@@ -60,11 +59,13 @@ pub(crate) fn ensure_object_at_deadline(
         match shared.transfer.fetch(id, node, round) {
             Ok(data) => return Ok(data),
             Err(RayError::ObjectLost(_)) => {
-                attempts += 1;
-                if attempts > shared.config.fault.max_reconstruction_attempts {
-                    return Err(RayError::ObjectLost(id));
-                }
                 reconstruct(shared, id)?;
+                // The lost-replica probe returns quickly, but the
+                // resubmitted producer may itself be recovering lost
+                // inputs or waiting for a node slot to restart. Pace the
+                // re-checks instead of spinning; the overall deadline
+                // still bounds the wait.
+                std::thread::sleep(Duration::from_millis(10).min(round));
             }
             Err(RayError::Timeout) => {
                 // The object may simply not be computed yet. If its
@@ -75,6 +76,39 @@ pub(crate) fn ensure_object_at_deadline(
             Err(e) => return Err(e),
         }
     }
+}
+
+/// Outcome of asking for a producer resubmission slot.
+enum Claim {
+    /// The caller owns this resubmission: go run it.
+    Go,
+    /// Recently resubmitted (or another consumer owns it): keep waiting.
+    Wait,
+    /// The per-task resubmission budget is spent.
+    Exhausted,
+}
+
+/// Claims the right to resubmit `task`. Every consumer blocked on the
+/// same missing object escalates at once; this gate dedups them to one
+/// resubmission per backoff window (doubling up to 16 fetch rounds) and
+/// bounds the total number of resubmissions per task — the paper's
+/// reconstruction is idempotent, but unbounded duplicate work is waste
+/// and a producer that keeps dying must eventually surface as lost.
+fn claim_resubmission(shared: &Arc<RuntimeShared>, task: ray_common::TaskId) -> Claim {
+    let mut stalled = shared.stalled.lock();
+    let now = Instant::now();
+    let entry = stalled
+        .entry(task)
+        .or_insert(StalledEntry { attempts: 0, next_retry: now });
+    if entry.attempts as usize > shared.config.fault.max_reconstruction_attempts {
+        return Claim::Exhausted;
+    }
+    if now < entry.next_retry {
+        return Claim::Wait;
+    }
+    entry.attempts += 1;
+    entry.next_retry = now + FETCH_ROUND * 2u32.saturating_pow(entry.attempts.min(4));
+    Claim::Go
 }
 
 /// Reconstructs a definitively lost object by re-executing its creating
@@ -98,11 +132,17 @@ fn reconstruct(shared: &Arc<RuntimeShared>, id: ObjectId) -> RayResult<()> {
                 // Already re-executing (another consumer beat us to it).
                 return Ok(());
             }
-            let from = shared
-                .any_live_node(NodeId(0))
-                .ok_or(RayError::Shutdown("no live nodes".into()))?
-                .node;
-            shared.resubmit(from, spec)
+            match claim_resubmission(shared, task) {
+                Claim::Wait => Ok(()),
+                Claim::Exhausted => Err(RayError::ObjectLost(id)),
+                Claim::Go => {
+                    let from = shared
+                        .any_live_node(NodeId(0))
+                        .ok_or(RayError::Shutdown("no live nodes".into()))?
+                        .node;
+                    shared.resubmit(from, spec)
+                }
+            }
         }
         TaskKind::ActorMethod { actor, .. } => {
             // A lost method result cannot be recomputed in isolation —
@@ -133,11 +173,18 @@ fn maybe_reconstruct_stalled(shared: &Arc<RuntimeShared>, id: ObjectId) -> RayRe
     let spec = TaskSpec::decode(&spec_bytes)?;
     match &spec.kind {
         TaskKind::Normal | TaskKind::ActorCreation { .. } => {
-            let from = shared
-                .any_live_node(NodeId(0))
-                .ok_or(RayError::Shutdown("no live nodes".into()))?
-                .node;
-            shared.resubmit(from, spec)
+            match claim_resubmission(shared, task) {
+                // Exhausted: keep waiting; the consumer's own deadline
+                // turns a producer that never lands into a typed Timeout.
+                Claim::Wait | Claim::Exhausted => Ok(()),
+                Claim::Go => {
+                    let from = shared
+                        .any_live_node(NodeId(0))
+                        .ok_or(RayError::Shutdown("no live nodes".into()))?
+                        .node;
+                    shared.resubmit(from, spec)
+                }
+            }
         }
         TaskKind::ActorMethod { actor, .. } => {
             // The method is queued/pending at the actor router; poke

@@ -56,6 +56,13 @@ pub(crate) fn start_node(shared: &Arc<RuntimeShared>, node: NodeId) -> Arc<NodeH
     shared.directory.register(store.clone());
     let _ = shared.gcs_client.register_node(node);
     shared.fabric.revive_node(node);
+    // A (re)started slot is a fresh process: tasks a previous incarnation
+    // was running are gone (their consumers resubmit through lineage), and
+    // any actor still claiming this slot is stale and must rebuild. Both
+    // matter when a crashed node restarts before the failure detector
+    // declared it dead.
+    shared.inflight.remove_node(node);
+    crate::actor::recover_actors_on(shared, node);
     shared.load.heartbeat(NodeLoad {
         node,
         queue_len: 0,
@@ -177,13 +184,21 @@ fn scheduler_loop(
         shared.queue_lens[node.index()].store(ready.len(), Ordering::Relaxed);
 
         if last_heartbeat.elapsed() >= heartbeat_every {
-            shared.load.heartbeat(NodeLoad {
-                node,
-                queue_len: ready.len(),
-                available: ledger.available(),
-                capacity: ledger.capacity().clone(),
-                alive: alive.load(Ordering::SeqCst),
-            });
+            // Heartbeats ride the fabric (paper §4.2.2: the monitor learns
+            // liveness from heartbeats, not from the node's goodwill). A
+            // dead node, a chaos-dropped message, or a partition that cuts
+            // this node off from the majority of its peers suppresses the
+            // publish — which is exactly the silence the failure detector
+            // converts into a death declaration.
+            if shared.fabric.deliver_heartbeat(node).is_ok() {
+                shared.load.heartbeat(NodeLoad {
+                    node,
+                    queue_len: ready.len(),
+                    available: ledger.available(),
+                    capacity: ledger.capacity().clone(),
+                    alive: alive.load(Ordering::SeqCst),
+                });
+            }
             last_heartbeat = Instant::now();
         }
         if !alive.load(Ordering::SeqCst) {

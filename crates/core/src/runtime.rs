@@ -14,6 +14,7 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 use bytes::Bytes;
 use crossbeam_channel::Sender;
@@ -109,9 +110,26 @@ impl InflightTable {
         self.shard(task).lock().get(&task).copied()
     }
 
+    /// Drops every entry assigned to `node` (node-death cleanup): tasks
+    /// that were queued or running there are no longer "running on a live
+    /// node", so reconstruction is free to resubmit them.
+    pub fn remove_node(&self, node: NodeId) {
+        for shard in &self.shards {
+            shard.lock().retain(|_, n| *n != node);
+        }
+    }
+
     pub fn len(&self) -> usize {
         self.shards.iter().map(|s| s.lock().len()).sum()
     }
+}
+
+/// Reconstruction-dedup state for one stalled producer task
+/// (see [`crate::lineage`]): how many times it has been resubmitted and
+/// when the next resubmission is allowed.
+pub(crate) struct StalledEntry {
+    pub attempts: u32,
+    pub next_retry: Instant,
 }
 
 /// The shared spine of one simulated cluster.
@@ -131,6 +149,13 @@ pub struct RuntimeShared {
     pub(crate) queue_lens: Vec<AtomicUsize>,
     pub(crate) inflight: InflightTable,
     pub(crate) actors: ActorRouter,
+    /// Per-task resubmission backoff for stalled producers (dedups the
+    /// many consumers that time out on the same missing object at once).
+    pub(crate) stalled: Mutex<HashMap<TaskId, StalledEntry>>,
+    /// Serializes node-slot claims (`add_node`/`restart_node`): the scan
+    /// for a free slot and the `start_node` that fills it must be atomic
+    /// with respect to other topology changes.
+    pub(crate) topology: Mutex<()>,
     pub(crate) shutting_down: AtomicBool,
     pub(crate) driver_counter: AtomicU64,
 }
@@ -322,6 +347,23 @@ mod tests {
         t.remove(task);
         assert_eq!(t.node_of(task), None);
         assert_eq!(t.len(), 0);
+    }
+
+    #[test]
+    fn inflight_remove_node_drops_only_that_node() {
+        let t = InflightTable::new();
+        let on2: Vec<TaskId> = (0..8).map(|_| TaskId::random()).collect();
+        let on3: Vec<TaskId> = (0..8).map(|_| TaskId::random()).collect();
+        for &task in &on2 {
+            t.insert(task, NodeId(2));
+        }
+        for &task in &on3 {
+            t.insert(task, NodeId(3));
+        }
+        t.remove_node(NodeId(2));
+        assert!(on2.iter().all(|&task| t.node_of(task).is_none()));
+        assert!(on3.iter().all(|&task| t.node_of(task) == Some(NodeId(3))));
+        assert_eq!(t.len(), on3.len());
     }
 
     #[test]

@@ -4,11 +4,11 @@
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use bytes::Bytes;
 use ray_common::config::{FaultConfig, SchedulerPolicy};
-use ray_common::{NodeId, RayConfig, RayError, Resources};
+use ray_common::{NodeId, ObjectId, RayConfig, RayError, Resources};
 use rustray::registry::{decode_arg, encode_return, RemoteResult};
 use rustray::task::{Arg, ObjectRef, TaskOptions};
 use rustray::{ActorInstance, Cluster, RayContext};
@@ -425,12 +425,32 @@ fn put_objects_are_not_reconstructable() {
 }
 
 #[test]
+fn get_times_out_cleanly_on_an_object_nobody_creates() {
+    // The ensure/fetch loop must convert "producer never materializes"
+    // into a typed Timeout at the requested deadline — not hang, and not
+    // misreport it as a loss (the object was never created at all).
+    let cluster = small_cluster();
+    let ctx = cluster.driver();
+    let r: ObjectRef<u64> = ObjectRef::from_id(ObjectId::random());
+    let t0 = Instant::now();
+    match ctx.get_with_timeout(&r, Duration::from_millis(300)) {
+        Err(RayError::Timeout) => {}
+        other => panic!("expected Timeout, got {other:?}"),
+    }
+    let waited = t0.elapsed();
+    assert!(waited >= Duration::from_millis(300), "returned early: {waited:?}");
+    assert!(waited < Duration::from_secs(20), "deadline ignored: {waited:?}");
+    cluster.shutdown();
+}
+
+#[test]
 fn actor_rebuilds_on_node_death_with_checkpointing() {
     let mut cfg = RayConfig::builder().nodes(3).workers_per_node(2).seed(5).build();
     cfg.fault = FaultConfig {
         lineage_enabled: true,
         max_reconstruction_attempts: 3,
         actor_checkpoint_interval: Some(4),
+        ..FaultConfig::default()
     };
     let cluster = Cluster::start(cfg).unwrap();
     register_counter(&cluster);

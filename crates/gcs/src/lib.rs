@@ -88,9 +88,10 @@ impl Gcs {
         Ok(Gcs { shards, metrics, flusher })
     }
 
-    /// Returns a cheap-clone typed client.
+    /// Returns a cheap-clone typed client (reporting retries into this
+    /// GCS's metrics registry).
     pub fn client(&self) -> GcsClient {
-        GcsClient::new(self.shards.clone())
+        GcsClient::new(self.shards.clone()).with_metrics(self.metrics.clone())
     }
 
     /// Number of shards.

@@ -9,12 +9,14 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
 
 use bytes::Bytes;
 use crossbeam_channel::{unbounded, Receiver};
 use serde::{Deserialize, Serialize};
 
-use ray_common::util::fnv1a_64;
+use ray_common::metrics::{names, MetricsRegistry};
+use ray_common::util::{fnv1a_64, Backoff};
 use ray_common::{ActorId, FunctionId, NodeId, ObjectId, RayError, RayResult, TaskId};
 
 use crate::chain::Chain;
@@ -129,12 +131,29 @@ fn method_log_key(actor: ActorId, seq: u64) -> Vec<u8> {
 pub struct GcsClient {
     shards: Arc<Vec<Chain>>,
     next_sub_id: Arc<AtomicU64>,
+    metrics: MetricsRegistry,
 }
+
+/// Extra client-side attempts (beyond the chain's own internal retries)
+/// before a GCS operation's timeout is surfaced to the caller. Chain ops
+/// are idempotent (`Put`/`SetAdd`/`SetRemove`), so re-issuing is safe;
+/// `ListAppend` logs tolerate at-least-once delivery by sequence number.
+const GCS_RETRY_LIMIT: u32 = 3;
 
 impl GcsClient {
     /// Wraps the shard set.
     pub fn new(shards: Arc<Vec<Chain>>) -> GcsClient {
-        GcsClient { shards, next_sub_id: Arc::new(AtomicU64::new(1)) }
+        GcsClient {
+            shards,
+            next_sub_id: Arc::new(AtomicU64::new(1)),
+            metrics: MetricsRegistry::new(),
+        }
+    }
+
+    /// Reports retry counters into an existing registry.
+    pub fn with_metrics(mut self, metrics: MetricsRegistry) -> GcsClient {
+        self.metrics = metrics;
+        self
     }
 
     fn shard_for(&self, key: &Key) -> &Chain {
@@ -143,12 +162,33 @@ impl GcsClient {
     }
 
     fn write(&self, key: Key, op: impl FnOnce(Key) -> UpdateOp) -> RayResult<()> {
+        let seed = fnv1a_64(&key.id);
         let shard = self.shard_for(&key);
-        shard.write(op(key))
+        let op = op(key);
+        let mut backoff = Backoff::new(Duration::from_millis(2), Duration::from_millis(25), seed);
+        loop {
+            match shard.write(op.clone()) {
+                Err(RayError::Timeout) if backoff.attempt() < GCS_RETRY_LIMIT => {
+                    self.metrics.counter(names::GCS_RETRIES).inc();
+                    std::thread::sleep(backoff.next_delay());
+                }
+                other => return other,
+            }
+        }
     }
 
     fn read(&self, key: &Key) -> RayResult<Option<Entry>> {
-        self.shard_for(key).read(key)
+        let mut backoff =
+            Backoff::new(Duration::from_millis(2), Duration::from_millis(25), fnv1a_64(&key.id));
+        loop {
+            match self.shard_for(key).read(key) {
+                Err(RayError::Timeout) if backoff.attempt() < GCS_RETRY_LIMIT => {
+                    self.metrics.counter(names::GCS_RETRIES).inc();
+                    std::thread::sleep(backoff.next_delay());
+                }
+                other => return other,
+            }
+        }
     }
 
     // ------------------------------------------------------------------

@@ -15,11 +15,16 @@ use bytes::Bytes;
 use parking_lot::RwLock;
 
 use ray_common::metrics::{names, MetricsRegistry};
+use ray_common::util::Backoff;
 use ray_common::{NodeId, ObjectId, RayError, RayResult};
 use ray_gcs::tables::GcsClient;
 use ray_transport::Fabric;
 
 use crate::store::{copy_payload, LocalObjectStore};
+
+/// How many times one wire transfer is retried after a transient
+/// (chaos-dropped) failure before the fetch moves on to another replica.
+const TRANSFER_RETRY_LIMIT: u32 = 6;
 
 /// In-process directory of every node's local store.
 ///
@@ -136,7 +141,7 @@ impl TransferManager {
                     }
                 };
                 // Pay the wire time (striped), then materialize locally.
-                if self.fabric.transfer(loc.node, to, data.len(), self.connections).is_err() {
+                if self.transfer_with_retry(loc.node, to, data.len(), id).is_err() {
                     continue;
                 }
                 let materialized = copy_payload(&data);
@@ -187,6 +192,35 @@ impl TransferManager {
         }
     }
 
+    /// One wire transfer with bounded retry on transient (dropped-message)
+    /// errors: exponential backoff with deterministic jitter seeded from
+    /// the object ID, so a given fetch retries on the same schedule every
+    /// run. Hard failures (dead node, partition) propagate immediately —
+    /// retrying those is the failure detector's job, not ours.
+    fn transfer_with_retry(
+        &self,
+        src: NodeId,
+        dst: NodeId,
+        bytes: usize,
+        id: ObjectId,
+    ) -> RayResult<()> {
+        let mut backoff = Backoff::new(
+            Duration::from_micros(200),
+            Duration::from_millis(20),
+            id.digest() ^ u64::from(dst.0),
+        );
+        loop {
+            match self.fabric.transfer(src, dst, bytes, self.connections) {
+                Ok(_) => return Ok(()),
+                Err(RayError::MessageDropped) if backoff.attempt() < TRANSFER_RETRY_LIMIT => {
+                    self.metrics.counter(names::TRANSFER_RETRIES).inc();
+                    std::thread::sleep(backoff.next_delay());
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
     /// Like [`Self::fetch`] but leaves the payload where it is and only
     /// reports how long the wire transfer took (diagnostics/benches).
     pub fn probe_transfer(
@@ -214,7 +248,7 @@ impl TransferManager {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ray_common::config::{GcsConfig, ObjectStoreConfig, TransportConfig};
+    use ray_common::config::{ChaosConfig, GcsConfig, ObjectStoreConfig, TransportConfig};
     use ray_gcs::Gcs;
 
     struct Rig {
@@ -223,13 +257,19 @@ mod tests {
         stores: Vec<Arc<LocalObjectStore>>,
         fabric: Fabric,
         client: GcsClient,
+        metrics: MetricsRegistry,
     }
 
     fn rig(nodes: usize) -> Rig {
+        rig_with(nodes, TransportConfig::default())
+    }
+
+    fn rig_with(nodes: usize, transport: TransportConfig) -> Rig {
         let gcs = Gcs::start(&GcsConfig { num_shards: 1, chain_length: 1, ..GcsConfig::default() })
             .unwrap();
         let client = gcs.client();
-        let fabric = Fabric::new(nodes, &TransportConfig::default());
+        let metrics = MetricsRegistry::new();
+        let fabric = Fabric::new_with_metrics(nodes, &transport, metrics.clone());
         let directory = StoreDirectory::new();
         let mut stores = Vec::new();
         for i in 0..nodes {
@@ -245,9 +285,9 @@ mod tests {
             fabric.clone(),
             client.clone(),
             4,
-            MetricsRegistry::new(),
+            metrics.clone(),
         );
-        Rig { _gcs: gcs, tm, stores, fabric, client }
+        Rig { _gcs: gcs, tm, stores, fabric, client, metrics }
     }
 
     fn seed(r: &Rig, node: usize, data: &'static [u8]) -> ObjectId {
@@ -327,6 +367,31 @@ mod tests {
         r.stores[0].delete(id);
         let got = r.tm.fetch(id, NodeId(2), Duration::from_secs(1)).unwrap();
         assert_eq!(got, Bytes::from_static(b"dup"));
+    }
+
+    #[test]
+    fn fetch_retries_through_injected_drops() {
+        // Half the wire messages are dropped (fixed seed): every fetch must
+        // still succeed via bounded retry, and the retry counter must move.
+        let r = rig_with(
+            2,
+            TransportConfig {
+                chaos: ChaosConfig {
+                    drop_probability: 0.5,
+                    seed: 0xC0FFEE,
+                    ..ChaosConfig::default()
+                },
+                ..TransportConfig::default()
+            },
+        );
+        for i in 0..20 {
+            let id = seed(&r, 0, b"lossy-link-payload");
+            let got = r.tm.fetch(id, NodeId(1), Duration::from_secs(10)).unwrap();
+            assert_eq!(got, Bytes::from_static(b"lossy-link-payload"), "fetch {i}");
+        }
+        assert!(r.metrics.counter(names::TRANSFER_RETRIES).get() > 0);
+        assert!(r.metrics.counter(names::MESSAGES_DROPPED).get() > 0);
+        assert!(r.fabric.message_drop_count() > 0);
     }
 
     #[test]

@@ -5,9 +5,11 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
-use parking_lot::RwLock;
+use parking_lot::{Mutex, RwLock};
 
-use ray_common::config::TransportConfig;
+use ray_common::config::{ChaosConfig, TransportConfig};
+use ray_common::metrics::{names, MetricsRegistry};
+use ray_common::util::DetRng;
 use ray_common::{NodeId, RayError, RayResult};
 
 use crate::model::LinkModel;
@@ -43,11 +45,26 @@ struct Inner {
     /// When `false`, wire time is computed but not slept (pure-model mode
     /// for deterministic unit tests).
     real_time: AtomicBool,
+    /// Seeded fault injection (drops + extra delay) applied per message.
+    chaos: ChaosConfig,
+    chaos_rng: Mutex<DetRng>,
+    dropped: AtomicU64,
+    metrics: MetricsRegistry,
 }
 
 impl Fabric {
     /// Creates a fabric for `num_nodes` nodes, all initially alive.
     pub fn new(num_nodes: usize, cfg: &TransportConfig) -> Self {
+        Fabric::new_with_metrics(num_nodes, cfg, MetricsRegistry::new())
+    }
+
+    /// Like [`Fabric::new`] but sharing the cluster's metrics registry, so
+    /// injected drops show up as [`names::MESSAGES_DROPPED`].
+    pub fn new_with_metrics(
+        num_nodes: usize,
+        cfg: &TransportConfig,
+        metrics: MetricsRegistry,
+    ) -> Self {
         Fabric {
             inner: Arc::new(Inner {
                 model: LinkModel::from_config(cfg),
@@ -57,6 +74,10 @@ impl Fabric {
                 bytes_transferred: AtomicU64::new(0),
                 transfers: AtomicU64::new(0),
                 real_time: AtomicBool::new(true),
+                chaos: cfg.chaos.clone(),
+                chaos_rng: Mutex::new(DetRng::new(cfg.chaos.seed)),
+                dropped: AtomicU64::new(0),
+                metrics,
             }),
         }
     }
@@ -126,6 +147,38 @@ impl Fabric {
         self.inner.transfers.load(Ordering::Relaxed)
     }
 
+    /// Messages dropped so far by chaos injection.
+    pub fn message_drop_count(&self) -> u64 {
+        self.inner.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Rolls the chaos drop coin for one message; counts a drop.
+    fn chaos_drop(&self) -> bool {
+        if self.inner.chaos.drop_probability <= 0.0 {
+            return false;
+        }
+        let roll = self.inner.chaos_rng.lock().next_f64();
+        if roll < self.inner.chaos.drop_probability {
+            self.inner.dropped.fetch_add(1, Ordering::Relaxed);
+            self.inner.metrics.counter(names::MESSAGES_DROPPED).inc();
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Rolls the chaos delay coin; returns the extra delay to charge.
+    fn chaos_delay(&self) -> Duration {
+        if self.inner.chaos.delay_probability <= 0.0 || self.inner.chaos.extra_delay.is_zero() {
+            return Duration::ZERO;
+        }
+        if self.inner.chaos_rng.lock().next_f64() < self.inner.chaos.delay_probability {
+            self.inner.chaos.extra_delay
+        } else {
+            Duration::ZERO
+        }
+    }
+
     fn check_link(&self, src: NodeId, dst: NodeId) -> RayResult<()> {
         if !self.is_alive(src) {
             return Err(RayError::NodeDead(src));
@@ -170,9 +223,12 @@ impl Fabric {
         if src == dst {
             return Ok(Duration::ZERO);
         }
+        if self.chaos_drop() {
+            return Err(RayError::MessageDropped);
+        }
         let lanes = self.link_lanes(src, dst);
         let permit = lanes.acquire(connections);
-        let d = self.inner.model.transfer_duration(bytes, permit.count());
+        let d = self.inner.model.transfer_duration(bytes, permit.count()) + self.chaos_delay();
         if self.inner.real_time.load(Ordering::Relaxed) {
             std::thread::sleep(d);
         }
@@ -190,11 +246,53 @@ impl Fabric {
         if src == dst {
             return Ok(Duration::ZERO);
         }
-        let d = self.inner.model.control_delay();
+        if self.chaos_drop() {
+            return Err(RayError::MessageDropped);
+        }
+        let d = self.inner.model.control_delay() + self.chaos_delay();
         if self.inner.real_time.load(Ordering::Relaxed) {
             std::thread::sleep(d);
         }
         Ok(d)
+    }
+
+    /// Whether `from` can currently reach a strict majority of the *other*
+    /// live nodes. A node cut off from the majority side cannot get its
+    /// heartbeats into the cluster's shared view, so from that view it is
+    /// indistinguishable from a crash — partition = death from the
+    /// majority's perspective.
+    pub fn reaches_majority(&self, from: NodeId) -> bool {
+        let partitions = self.inner.partitions.read();
+        let mut peers = 0usize;
+        let mut reachable = 0usize;
+        for (i, alive) in self.inner.alive.iter().enumerate() {
+            if i == from.index() || !alive.load(Ordering::SeqCst) {
+                continue;
+            }
+            peers += 1;
+            if !partitions.contains(&ordered(from, NodeId(i as u32))) {
+                reachable += 1;
+            }
+        }
+        peers == 0 || reachable * 2 > peers
+    }
+
+    /// Delivers one heartbeat from `from` into the cluster's shared load
+    /// view. Fails — silently suppressing the heartbeat — when the node is
+    /// dead, the message is chaos-dropped, or the node is partitioned away
+    /// from the majority of its live peers. The failure detector turns
+    /// sustained suppression into a death declaration.
+    pub fn deliver_heartbeat(&self, from: NodeId) -> RayResult<()> {
+        if !self.is_alive(from) {
+            return Err(RayError::NodeDead(from));
+        }
+        if self.chaos_drop() {
+            return Err(RayError::MessageDropped);
+        }
+        if !self.reaches_majority(from) {
+            return Err(RayError::NodeDead(from));
+        }
+        Ok(())
     }
 }
 
@@ -218,6 +316,14 @@ mod tests {
             bandwidth_bytes_per_sec: 1_000_000_000,
             connections_per_transfer: 4,
             chunk_bytes: 1024,
+            chaos: ChaosConfig::default(),
+        }
+    }
+
+    fn chaos_cfg(drop_p: f64, seed: u64) -> TransportConfig {
+        TransportConfig {
+            chaos: ChaosConfig { drop_probability: drop_p, seed, ..ChaosConfig::default() },
+            ..cfg()
         }
     }
 
@@ -320,5 +426,103 @@ mod tests {
         assert!(f.control_hop(NodeId(0), NodeId(1)).is_ok());
         f.kill_node(NodeId(0));
         assert!(f.control_hop(NodeId(0), NodeId(1)).is_err());
+    }
+
+    #[test]
+    fn chaos_disabled_never_drops() {
+        let f = Fabric::new(2, &cfg());
+        f.set_virtual_time(true);
+        for _ in 0..200 {
+            f.transfer(NodeId(0), NodeId(1), 8, 1).unwrap();
+        }
+        assert_eq!(f.message_drop_count(), 0);
+    }
+
+    #[test]
+    fn chaos_drop_sequence_is_deterministic_per_seed() {
+        let outcomes = |seed: u64| -> Vec<bool> {
+            let f = Fabric::new(2, &chaos_cfg(0.3, seed));
+            f.set_virtual_time(true);
+            (0..64)
+                .map(|_| f.transfer(NodeId(0), NodeId(1), 8, 1).is_err())
+                .collect()
+        };
+        let a = outcomes(42);
+        let b = outcomes(42);
+        let c = outcomes(43);
+        assert_eq!(a, b, "same seed must give the same drop sequence");
+        assert_ne!(a, c, "different seeds should diverge");
+        assert!(a.iter().any(|&d| d), "p=0.3 over 64 messages should drop some");
+        assert!(!a.iter().all(|&d| d), "p=0.3 should not drop everything");
+    }
+
+    #[test]
+    fn chaos_certain_drop_rejects_everything() {
+        let f = Fabric::new(2, &chaos_cfg(1.0, 7));
+        f.set_virtual_time(true);
+        for _ in 0..16 {
+            assert_eq!(
+                f.transfer(NodeId(0), NodeId(1), 8, 1).unwrap_err(),
+                RayError::MessageDropped
+            );
+        }
+        assert_eq!(f.message_drop_count(), 16);
+        assert_eq!(f.transfer_count(), 0);
+    }
+
+    #[test]
+    fn chaos_extra_delay_charges_the_model() {
+        let mut cfg = cfg();
+        cfg.chaos =
+            ChaosConfig { delay_probability: 1.0, extra_delay: Duration::from_millis(50), ..ChaosConfig::default() };
+        let f = Fabric::new(2, &cfg);
+        f.set_virtual_time(true);
+        let d = f.transfer(NodeId(0), NodeId(1), 8, 1).unwrap();
+        assert!(d >= Duration::from_millis(50), "extra delay must be charged, got {d:?}");
+    }
+
+    #[test]
+    fn heartbeats_flow_when_healthy() {
+        let f = Fabric::new(3, &cfg());
+        for n in 0..3 {
+            assert!(f.deliver_heartbeat(NodeId(n)).is_ok());
+        }
+    }
+
+    #[test]
+    fn heartbeat_suppressed_for_dead_node() {
+        let f = Fabric::new(3, &cfg());
+        f.kill_node(NodeId(1));
+        assert_eq!(f.deliver_heartbeat(NodeId(1)).unwrap_err(), RayError::NodeDead(NodeId(1)));
+    }
+
+    #[test]
+    fn heartbeat_suppressed_when_partitioned_from_majority() {
+        let f = Fabric::new(4, &cfg());
+        // Cut node 3 off from everyone: 0 of 3 peers reachable.
+        for n in 0..3 {
+            f.partition(NodeId(3), NodeId(n));
+        }
+        assert!(!f.reaches_majority(NodeId(3)));
+        assert!(f.deliver_heartbeat(NodeId(3)).is_err());
+        // The majority side still heartbeats fine (each reaches 2 of 3).
+        for n in 0..3 {
+            assert!(f.reaches_majority(NodeId(n)));
+            assert!(f.deliver_heartbeat(NodeId(n)).is_ok());
+        }
+        // Healing restores the minority node's heartbeat path.
+        for n in 0..3 {
+            f.heal(NodeId(3), NodeId(n));
+        }
+        assert!(f.deliver_heartbeat(NodeId(3)).is_ok());
+    }
+
+    #[test]
+    fn single_partition_is_not_death() {
+        let f = Fabric::new(4, &cfg());
+        // Node 3 loses one of three peers: still a majority (2 of 3).
+        f.partition(NodeId(3), NodeId(0));
+        assert!(f.reaches_majority(NodeId(3)));
+        assert!(f.deliver_heartbeat(NodeId(3)).is_ok());
     }
 }

@@ -122,6 +122,7 @@ mod tests {
             bandwidth_bytes_per_sec: 1000,
             connections_per_transfer: 4,
             chunk_bytes: 64,
+            ..TransportConfig::default()
         };
         let m = LinkModel::from_config(&cfg);
         assert_eq!(m.latency, Duration::from_millis(1));

@@ -1,0 +1,111 @@
+//! Property tests for `Fabric` partitions and chaos injection.
+//!
+//! Invariants: `connected` is symmetric under arbitrary partition sets and
+//! kills, `heal` restores transfer on a severed link, and seeded drop
+//! injection is deterministic (and inert at probability zero).
+
+use std::time::Duration;
+
+use proptest::prelude::*;
+
+use ray_common::config::{ChaosConfig, TransportConfig};
+use ray_common::NodeId;
+use ray_transport::Fabric;
+
+const N: u32 = 8;
+
+fn cfg() -> TransportConfig {
+    TransportConfig { latency: Duration::from_micros(1), ..TransportConfig::default() }
+}
+
+fn chaos(drop_p: f64, seed: u64) -> TransportConfig {
+    TransportConfig {
+        chaos: ChaosConfig { drop_probability: drop_p, seed, ..ChaosConfig::default() },
+        ..cfg()
+    }
+}
+
+proptest! {
+    #[test]
+    fn connected_is_symmetric(
+        cuts in proptest::collection::vec((0..N, 0..N), 0..24),
+        kills in proptest::collection::vec(0..N, 0..4),
+        a in 0..N,
+        b in 0..N,
+    ) {
+        let f = Fabric::new(N as usize, &cfg());
+        f.set_virtual_time(true);
+        for (x, y) in cuts {
+            if x != y {
+                f.partition(NodeId(x), NodeId(y));
+            }
+        }
+        for k in kills {
+            f.kill_node(NodeId(k));
+        }
+        prop_assert_eq!(
+            f.connected(NodeId(a), NodeId(b)),
+            f.connected(NodeId(b), NodeId(a))
+        );
+    }
+
+    #[test]
+    fn heal_restores_transfer(
+        a in 0..N,
+        b in 0..N,
+        bytes in 1usize..4096,
+    ) {
+        prop_assume!(a != b);
+        let f = Fabric::new(N as usize, &cfg());
+        f.set_virtual_time(true);
+        f.partition(NodeId(a), NodeId(b));
+        prop_assert!(f.transfer(NodeId(a), NodeId(b), bytes, 1).is_err());
+        prop_assert!(f.transfer(NodeId(b), NodeId(a), bytes, 1).is_err());
+        f.heal(NodeId(a), NodeId(b));
+        prop_assert!(f.transfer(NodeId(a), NodeId(b), bytes, 1).is_ok());
+        prop_assert!(f.transfer(NodeId(b), NodeId(a), bytes, 1).is_ok());
+    }
+
+    #[test]
+    fn drop_injection_respects_the_seed(seed in any::<u64>(), p in 0.05f64..0.95) {
+        let run = |seed: u64| -> Vec<bool> {
+            let f = Fabric::new(2, &chaos(p, seed));
+            f.set_virtual_time(true);
+            (0..48).map(|_| f.transfer(NodeId(0), NodeId(1), 16, 1).is_err()).collect()
+        };
+        prop_assert_eq!(run(seed), run(seed));
+    }
+
+    #[test]
+    fn zero_probability_never_drops(seed in any::<u64>(), msgs in 1usize..64) {
+        let f = Fabric::new(2, &chaos(0.0, seed));
+        f.set_virtual_time(true);
+        for _ in 0..msgs {
+            prop_assert!(f.transfer(NodeId(0), NodeId(1), 16, 1).is_ok());
+        }
+        prop_assert_eq!(f.message_drop_count(), 0);
+    }
+
+    #[test]
+    fn unpartitioned_nodes_reach_the_majority(node in 0..N) {
+        let f = Fabric::new(N as usize, &cfg());
+        prop_assert!(f.reaches_majority(NodeId(node)));
+    }
+
+    #[test]
+    fn fully_isolated_node_loses_the_majority(node in 0..N) {
+        let f = Fabric::new(N as usize, &cfg());
+        for other in 0..N {
+            if other != node {
+                f.partition(NodeId(node), NodeId(other));
+            }
+        }
+        prop_assert!(!f.reaches_majority(NodeId(node)));
+        // Everyone else lost only one peer out of N-2 reachable: still fine.
+        for other in 0..N {
+            if other != node {
+                prop_assert!(f.reaches_majority(NodeId(other)));
+            }
+        }
+    }
+}

@@ -42,6 +42,7 @@ fn main() {
         lineage_enabled: true,
         max_reconstruction_attempts: 3,
         actor_checkpoint_interval: Some(5),
+        ..FaultConfig::default()
     };
     let cluster = Cluster::start(config).expect("start cluster");
     cluster.register_fn1("inc", |x: u64| x + 1);

@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Tier-1 verification gate: warnings-clean release build, the full test
+# suite, and the chaos suite run on its own (it is the slowest target and
+# the one most worth seeing in isolation when it fails).
+#
+# Usage: scripts/verify.sh   (from the workspace root)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export RUSTFLAGS="${RUSTFLAGS:--D warnings}"
+
+echo "== tier 1: release build =="
+cargo build --release
+
+echo "== tier 1: test suite =="
+cargo test -q
+
+echo "== chaos suite =="
+cargo test -q --test chaos
+
+echo "verify: OK"
