@@ -139,9 +139,18 @@ pub struct DetRng {
 }
 
 impl DetRng {
-    /// Creates a generator; any seed (including 0) is fine.
+    /// Creates a generator; any seed (including 0) is fine. The seed is
+    /// mixed through the splitmix64 finalizer (a bijection, so distinct
+    /// seeds yield distinct states) because xorshift64* needs a nonzero,
+    /// well-spread state — and so that nearby seeds give uncorrelated
+    /// streams.
     pub fn new(seed: u64) -> DetRng {
-        DetRng { state: seed | 1 }
+        let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        // Exactly one seed maps to 0; remap it off the fixed point.
+        DetRng { state: if z == 0 { 0x9E37_79B9_7F4A_7C15 } else { z } }
     }
 
     /// Next raw 64-bit value.
@@ -275,6 +284,17 @@ mod tests {
         let zs: Vec<u64> = (0..16).map(|_| c.next_u64()).collect();
         assert_eq!(xs, ys);
         assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn det_rng_distinct_seeds_give_distinct_streams() {
+        // Regression: `seed | 1` used to collapse every even/odd seed pair
+        // (42 and 43 shared a stream). Every seed must get its own stream.
+        let firsts: Vec<u64> = (0..256u64).map(|s| DetRng::new(s).next_u64()).collect();
+        let mut uniq = firsts.clone();
+        uniq.sort_unstable();
+        uniq.dedup();
+        assert_eq!(uniq.len(), firsts.len(), "adjacent seeds must diverge");
     }
 
     #[test]

@@ -19,7 +19,7 @@ use std::time::{Duration, Instant};
 
 use bytes::Bytes;
 
-use ray_common::{NodeId, ObjectId, RayError, RayResult};
+use ray_common::{NodeId, ObjectId, RayError, RayResult, TaskId};
 
 use crate::actor;
 use crate::runtime::{RuntimeShared, StalledEntry};
@@ -51,15 +51,25 @@ pub(crate) fn ensure_object_at_deadline(
     deadline: Duration,
 ) -> RayResult<Bytes> {
     let overall = Instant::now() + deadline;
+    // The producer task this call escalated against (if any); its
+    // stalled-entry is cleared once the object materializes, so the
+    // resubmission budget applies per stall episode, not per cluster
+    // lifetime.
+    let mut engaged: Option<TaskId> = None;
     loop {
         let round = FETCH_ROUND.min(overall.saturating_duration_since(Instant::now()));
         if round.is_zero() {
             return Err(RayError::Timeout);
         }
         match shared.transfer.fetch(id, node, round) {
-            Ok(data) => return Ok(data),
+            Ok(data) => {
+                if let Some(task) = engaged {
+                    shared.stalled.lock().remove(&task);
+                }
+                return Ok(data);
+            }
             Err(RayError::ObjectLost(_)) => {
-                reconstruct(shared, id)?;
+                engaged = reconstruct(shared, id)?.or(engaged);
                 // The lost-replica probe returns quickly, but the
                 // resubmitted producer may itself be recovering lost
                 // inputs or waiting for a node slot to restart. Pace the
@@ -71,7 +81,7 @@ pub(crate) fn ensure_object_at_deadline(
                 // The object may simply not be computed yet. If its
                 // producer is known and is *not* running anywhere live,
                 // resubmit it; otherwise keep waiting.
-                maybe_reconstruct_stalled(shared, id)?;
+                engaged = maybe_reconstruct_stalled(shared, id)?.or(engaged);
             }
             Err(e) => return Err(e),
         }
@@ -94,13 +104,13 @@ enum Claim {
 /// bounds the total number of resubmissions per task — the paper's
 /// reconstruction is idempotent, but unbounded duplicate work is waste
 /// and a producer that keeps dying must eventually surface as lost.
-fn claim_resubmission(shared: &Arc<RuntimeShared>, task: ray_common::TaskId) -> Claim {
+fn claim_resubmission(shared: &Arc<RuntimeShared>, task: TaskId) -> Claim {
     let mut stalled = shared.stalled.lock();
     let now = Instant::now();
     let entry = stalled
         .entry(task)
         .or_insert(StalledEntry { attempts: 0, next_retry: now });
-    if entry.attempts as usize > shared.config.fault.max_reconstruction_attempts {
+    if entry.attempts as usize >= shared.config.fault.max_reconstruction_attempts {
         return Claim::Exhausted;
     }
     if now < entry.next_retry {
@@ -112,8 +122,10 @@ fn claim_resubmission(shared: &Arc<RuntimeShared>, task: ray_common::TaskId) -> 
 }
 
 /// Reconstructs a definitively lost object by re-executing its creating
-/// task (or rebuilding its actor).
-fn reconstruct(shared: &Arc<RuntimeShared>, id: ObjectId) -> RayResult<()> {
+/// task (or rebuilding its actor). Returns the producer task whose
+/// resubmission budget this call engaged, so the caller can clear its
+/// stalled-entry once the object materializes.
+fn reconstruct(shared: &Arc<RuntimeShared>, id: ObjectId) -> RayResult<Option<TaskId>> {
     if !shared.config.fault.lineage_enabled {
         return Err(RayError::ObjectLost(id));
     }
@@ -130,17 +142,18 @@ fn reconstruct(shared: &Arc<RuntimeShared>, id: ObjectId) -> RayResult<()> {
         TaskKind::Normal | TaskKind::ActorCreation { .. } => {
             if shared.task_running_on_live_node(task) {
                 // Already re-executing (another consumer beat us to it).
-                return Ok(());
+                return Ok(Some(task));
             }
             match claim_resubmission(shared, task) {
-                Claim::Wait => Ok(()),
+                Claim::Wait => Ok(Some(task)),
                 Claim::Exhausted => Err(RayError::ObjectLost(id)),
                 Claim::Go => {
                     let from = shared
                         .any_live_node(NodeId(0))
                         .ok_or(RayError::Shutdown("no live nodes".into()))?
                         .node;
-                    shared.resubmit(from, spec)
+                    shared.resubmit(from, spec)?;
+                    Ok(Some(task))
                 }
             }
         }
@@ -149,26 +162,28 @@ fn reconstruct(shared: &Arc<RuntimeShared>, id: ObjectId) -> RayResult<()> {
             // actor state has moved on. Rebuild the actor from its latest
             // checkpoint and replay the stateful-edge chain; replay
             // re-stores missing outputs (ours included).
-            actor::rebuild_actor(shared, *actor)
+            actor::rebuild_actor(shared, *actor)?;
+            Ok(None)
         }
     }
 }
 
 /// Handles the "producer stalled" case during a fetch timeout: resubmit
 /// the task if it is known but not running on any live node (e.g. it was
-/// queued on a node that died before execution).
-fn maybe_reconstruct_stalled(shared: &Arc<RuntimeShared>, id: ObjectId) -> RayResult<()> {
+/// queued on a node that died before execution). Returns the producer task
+/// whose resubmission budget was engaged, if any.
+fn maybe_reconstruct_stalled(shared: &Arc<RuntimeShared>, id: ObjectId) -> RayResult<Option<TaskId>> {
     if !shared.config.fault.lineage_enabled {
-        return Ok(());
+        return Ok(None);
     }
     let Some(task) = shared.gcs_client.get_object_lineage(id)? else {
-        return Ok(()); // Unknown producer: just keep waiting.
+        return Ok(None); // Unknown producer: just keep waiting.
     };
     if shared.task_running_on_live_node(task) {
-        return Ok(());
+        return Ok(None);
     }
     let Some(spec_bytes) = shared.gcs_client.get_task(task)? else {
-        return Ok(());
+        return Ok(None);
     };
     let spec = TaskSpec::decode(&spec_bytes)?;
     match &spec.kind {
@@ -176,20 +191,22 @@ fn maybe_reconstruct_stalled(shared: &Arc<RuntimeShared>, id: ObjectId) -> RayRe
             match claim_resubmission(shared, task) {
                 // Exhausted: keep waiting; the consumer's own deadline
                 // turns a producer that never lands into a typed Timeout.
-                Claim::Wait | Claim::Exhausted => Ok(()),
+                Claim::Wait | Claim::Exhausted => Ok(Some(task)),
                 Claim::Go => {
                     let from = shared
                         .any_live_node(NodeId(0))
                         .ok_or(RayError::Shutdown("no live nodes".into()))?
                         .node;
-                    shared.resubmit(from, spec)
+                    shared.resubmit(from, spec)?;
+                    Ok(Some(task))
                 }
             }
         }
         TaskKind::ActorMethod { actor, .. } => {
             // The method is queued/pending at the actor router; poke
             // recovery in case its host died.
-            actor::ensure_actor_alive(shared, *actor)
+            actor::ensure_actor_alive(shared, *actor)?;
+            Ok(None)
         }
     }
 }

@@ -256,25 +256,41 @@ impl Fabric {
         Ok(d)
     }
 
-    /// Whether `from` can currently reach a strict majority of the *other*
-    /// live nodes. A node cut off from the majority side cannot get its
-    /// heartbeats into the cluster's shared view, so from that view it is
-    /// indistinguishable from a crash — partition = death from the
-    /// majority's perspective.
+    /// Whether `from` sits on a majority side of the current partition:
+    /// its side — itself plus every live peer it can reach directly —
+    /// must hold a strict majority of the live nodes. A node cut off from
+    /// the majority cannot get its heartbeats into the cluster's shared
+    /// view, so from that view it is indistinguishable from a crash —
+    /// partition = death from the majority's perspective.
+    ///
+    /// An exact even split (e.g. either endpoint of a partitioned 2-node
+    /// cluster) has no strict majority; to keep such clusters operable the
+    /// tie goes to the side containing the lowest-id live node, so exactly
+    /// one side stays up.
     pub fn reaches_majority(&self, from: NodeId) -> bool {
         let partitions = self.inner.partitions.read();
-        let mut peers = 0usize;
-        let mut reachable = 0usize;
+        let mut live = 0usize;
+        let mut side = 0usize;
+        let mut lowest_live = None;
         for (i, alive) in self.inner.alive.iter().enumerate() {
-            if i == from.index() || !alive.load(Ordering::SeqCst) {
+            if !alive.load(Ordering::SeqCst) {
                 continue;
             }
-            peers += 1;
-            if !partitions.contains(&ordered(from, NodeId(i as u32))) {
-                reachable += 1;
+            live += 1;
+            if lowest_live.is_none() {
+                lowest_live = Some(i);
+            }
+            if i == from.index() || !partitions.contains(&ordered(from, NodeId(i as u32))) {
+                side += 1;
             }
         }
-        peers == 0 || reachable * 2 > peers
+        match (side * 2).cmp(&live) {
+            std::cmp::Ordering::Greater => true,
+            std::cmp::Ordering::Less => false,
+            std::cmp::Ordering::Equal => lowest_live.is_some_and(|l| {
+                l == from.index() || !partitions.contains(&ordered(from, NodeId(l as u32)))
+            }),
+        }
     }
 
     /// Delivers one heartbeat from `from` into the cluster's shared load
@@ -515,6 +531,31 @@ mod tests {
             f.heal(NodeId(3), NodeId(n));
         }
         assert!(f.deliver_heartbeat(NodeId(3)).is_ok());
+    }
+
+    #[test]
+    fn two_node_partition_kills_only_the_higher_id_side() {
+        let f = Fabric::new(2, &cfg());
+        f.partition(NodeId(0), NodeId(1));
+        // An even split has no strict majority; the tie goes to the side
+        // holding the lowest live id, so node 0 (the driver's home in
+        // generated chaos schedules) stays up and only node 1 goes silent.
+        assert!(f.reaches_majority(NodeId(0)));
+        assert!(f.deliver_heartbeat(NodeId(0)).is_ok());
+        assert!(!f.reaches_majority(NodeId(1)));
+        assert!(f.deliver_heartbeat(NodeId(1)).is_err());
+    }
+
+    #[test]
+    fn three_node_isolation_spares_the_survivors() {
+        let f = Fabric::new(3, &cfg());
+        f.partition(NodeId(2), NodeId(0));
+        f.partition(NodeId(2), NodeId(1));
+        // The pair {0, 1} is 2 of 3 live nodes — a strict majority even
+        // though each sees only 1 of its 2 peers.
+        assert!(f.reaches_majority(NodeId(0)));
+        assert!(f.reaches_majority(NodeId(1)));
+        assert!(!f.reaches_majority(NodeId(2)));
     }
 
     #[test]
