@@ -42,7 +42,6 @@ fn main() {
     let sampler = {
         let completed = completed.clone();
         let metrics = metrics.clone();
-        let horizon = horizon;
         std::thread::spawn(move || {
             let mut rows = Vec::new();
             let mut last_done = 0u64;

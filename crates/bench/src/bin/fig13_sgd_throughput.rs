@@ -119,7 +119,8 @@ fn lockstep_rate(workers: usize, iterations: usize) -> f64 {
         );
         m.num_params()
     };
-    let params = parking_lot::RwLock::new(
+    let params = ray_common::sync::OrderedRwLock::new(
+        &ray_common::sync::classes::BENCH_PARAMS,
         ray_rl::nn::Mlp::new(
             &cfg.layer_dims,
             ray_rl::nn::Activation::Tanh,
@@ -128,7 +129,10 @@ fn lockstep_rate(workers: usize, iterations: usize) -> f64 {
         )
         .params(),
     );
-    let accum = parking_lot::Mutex::new(vec![0.0f64; n_params]);
+    let accum = ray_common::sync::OrderedMutex::new(
+        &ray_common::sync::classes::BENCH_ACCUM,
+        vec![0.0f64; n_params],
+    );
     let barrier = std::sync::Barrier::new(workers);
     let start = std::time::Instant::now();
     std::thread::scope(|s| {

@@ -4,7 +4,7 @@ use std::sync::Arc;
 
 use bytes::Bytes;
 use crossbeam_channel::{unbounded, Receiver, Sender};
-use parking_lot::Mutex;
+use ray_common::sync::{classes, OrderedMutex};
 
 use ray_common::config::TransportConfig;
 use ray_common::NodeId;
@@ -21,7 +21,7 @@ struct RankInbox {
     tx: Sender<Envelope>,
     rx: Receiver<Envelope>,
     /// Messages received but not yet claimed (recv by (from, tag)).
-    stash: Mutex<Vec<Envelope>>,
+    stash: OrderedMutex<Vec<Envelope>>,
 }
 
 struct WorldInner {
@@ -44,7 +44,7 @@ impl BspWorld {
         let inboxes = (0..n)
             .map(|_| {
                 let (tx, rx) = unbounded();
-                RankInbox { tx, rx, stash: Mutex::new(Vec::new()) }
+                RankInbox { tx, rx, stash: OrderedMutex::new(&classes::BSP_STASH, Vec::new()) }
             })
             .collect();
         BspWorld {

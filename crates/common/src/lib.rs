@@ -12,6 +12,10 @@
 //! - [`config`]: the knobs of the simulated cluster (node count, transport
 //!   model, GCS replication, flushing, scheduler policy, ...).
 //! - [`metrics`]: lightweight atomic counters used by benchmarks and tests.
+//! - [`sync`]: ranked lock wrappers ([`sync::OrderedMutex`],
+//!   [`sync::OrderedRwLock`]) enforcing the workspace-wide lock order, with
+//!   a runtime acquisition-order graph and deadlock (cycle) detection in
+//!   debug builds.
 //! - [`util`]: small helpers (FNV hashing, EWMA estimators) shared across
 //!   the system layer.
 
@@ -20,6 +24,7 @@ pub mod error;
 pub mod id;
 pub mod metrics;
 pub mod resources;
+pub mod sync;
 pub mod util;
 
 pub use config::RayConfig;

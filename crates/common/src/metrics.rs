@@ -9,7 +9,7 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 use std::sync::Arc;
 
-use parking_lot::RwLock;
+use crate::sync::{classes, OrderedRwLock};
 
 /// A monotonically increasing counter.
 #[derive(Debug, Default)]
@@ -69,10 +69,19 @@ pub struct MetricsRegistry {
     inner: Arc<Inner>,
 }
 
-#[derive(Debug, Default)]
+#[derive(Debug)]
 struct Inner {
-    counters: RwLock<HashMap<String, Arc<Counter>>>,
-    gauges: RwLock<HashMap<String, Arc<Gauge>>>,
+    counters: OrderedRwLock<HashMap<String, Arc<Counter>>>,
+    gauges: OrderedRwLock<HashMap<String, Arc<Gauge>>>,
+}
+
+impl Default for Inner {
+    fn default() -> Self {
+        Inner {
+            counters: OrderedRwLock::new(&classes::METRICS_COUNTERS, HashMap::new()),
+            gauges: OrderedRwLock::new(&classes::METRICS_GAUGES, HashMap::new()),
+        }
+    }
 }
 
 impl MetricsRegistry {
@@ -170,6 +179,9 @@ pub mod names {
     pub const TRANSFER_RETRIES: &str = "transfer_retries";
     /// GCS client operations retried after a transient error.
     pub const GCS_RETRIES: &str = "gcs_retries";
+    /// Lock holds that exceeded the configured long-hold threshold
+    /// (debug builds only; see `ray_common::sync`).
+    pub const LOCK_LONG_HOLDS: &str = "lock_long_holds";
 }
 
 #[cfg(test)]

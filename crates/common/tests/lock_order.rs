@@ -1,0 +1,79 @@
+//! Deliberate lock-order inversion: two ranked locks taken in opposite
+//! orders on two threads must produce a deterministic cycle report from the
+//! acquisition-order graph.
+//!
+//! Lives in its own integration-test binary on purpose: the acquisition
+//! graph is process-global, and this test *pollutes* it with a cycle. Unit
+//! tests inside `sync.rs` (and every other test binary) assert the graph
+//! stays clean, so this one runs in a separate process.
+//!
+//! The detector only exists in debug builds — in release the wrappers
+//! compile down to plain `parking_lot` — so the body is cfg-gated. Were the
+//! detector stubbed out (edges not recorded, cycles not detected), the
+//! asserts below would fail: that is the regression this test pins.
+
+#![cfg(debug_assertions)]
+
+use ray_common::sync::{
+    acquisition_edges, detect_cycle, set_panic_on_violation, violations, LockClass,
+    OrderedMutex,
+};
+
+static LO_A: LockClass = LockClass::new("test.lock_order.a", 20_000);
+static LO_B: LockClass = LockClass::new("test.lock_order.b", 20_010);
+
+static LOCK_A: OrderedMutex<u32> = OrderedMutex::new(&LO_A, 0);
+static LOCK_B: OrderedMutex<u32> = OrderedMutex::new(&LO_B, 0);
+
+#[test]
+fn opposite_order_acquisition_reports_a_cycle() {
+    // The second thread's acquisition is a rank violation (B -> A with
+    // rank(A) < rank(B)); record it instead of panicking so we can inspect
+    // the graph.
+    let was = set_panic_on_violation(false);
+
+    // Thread 1: A then B — the legal order.
+    let t1 = std::thread::spawn(|| {
+        let _a = LOCK_A.lock();
+        let _b = LOCK_B.lock();
+    });
+    t1.join().unwrap();
+
+    // Thread 2: B then A — the inversion. Sequential (t1 already joined),
+    // so the test itself can never deadlock; only the *graph* sees the
+    // would-be deadlock.
+    let t2 = std::thread::spawn(|| {
+        let _b = LOCK_B.lock();
+        let _a = LOCK_A.lock();
+    });
+    t2.join().unwrap();
+
+    // The rank check flagged the inversion...
+    let v = violations();
+    assert!(
+        v.iter().any(|m| m.contains("test.lock_order.a") && m.contains("test.lock_order.b")),
+        "expected a recorded rank violation naming both classes, got {v:?}"
+    );
+
+    // ...and the acquisition graph contains the A<->B cycle.
+    let cycle = detect_cycle().expect("opposite-order acquisition must form a cycle");
+    assert!(
+        cycle.contains(&"test.lock_order.a") && cycle.contains(&"test.lock_order.b"),
+        "cycle should involve both test classes, got {cycle:?}"
+    );
+
+    // Deterministic: the same graph reports the same cycle every time.
+    assert_eq!(detect_cycle(), Some(cycle));
+
+    // Both directed edges are present.
+    let edges = acquisition_edges();
+    let ab = edges
+        .iter()
+        .any(|(a, b)| *a == "test.lock_order.a" && *b == "test.lock_order.b");
+    let ba = edges
+        .iter()
+        .any(|(a, b)| *a == "test.lock_order.b" && *b == "test.lock_order.a");
+    assert!(ab && ba, "expected both A->B and B->A edges, got {edges:?}");
+
+    set_panic_on_violation(was);
+}

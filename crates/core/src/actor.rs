@@ -25,7 +25,7 @@ use std::sync::Arc;
 
 use bytes::Bytes;
 use crossbeam_channel::{unbounded, Receiver, Sender};
-use parking_lot::Mutex;
+use ray_common::sync::{classes, OrderedMutex};
 
 use ray_common::metrics::names;
 use ray_common::{ActorId, NodeId, ObjectId, RayError, RayResult};
@@ -58,9 +58,16 @@ enum ActorEntry {
 }
 
 /// Client-side routing state for every actor in the cluster.
-#[derive(Default)]
 pub(crate) struct ActorRouter {
-    inner: Mutex<HashMap<ActorId, ActorEntry>>,
+    inner: OrderedMutex<HashMap<ActorId, ActorEntry>>,
+}
+
+impl Default for ActorRouter {
+    fn default() -> Self {
+        ActorRouter {
+            inner: OrderedMutex::new(&classes::ACTOR_ROUTER, HashMap::new()),
+        }
+    }
 }
 
 impl ActorRouter {
@@ -273,7 +280,7 @@ impl ActorHost {
                 let _ = self.shared.gcs_client.put_actor(&rec);
             }
             if let Some(every) = self.shared.config.fault.actor_checkpoint_interval {
-                if every > 0 && self.seq % every == 0 {
+                if every > 0 && self.seq.is_multiple_of(every) {
                     self.take_checkpoint();
                 }
             }
@@ -446,11 +453,8 @@ fn rebuild_actor_blocking(shared: &Arc<RuntimeShared>, actor: ActorId) -> RayRes
     // applied (exactly once) with its outputs re-stored.
     let mut host = ActorHost { shared: shared.clone(), actor, node, instance, seq: start_seq };
     let mut seq = start_seq;
-    loop {
-        let task = match shared.gcs_client.get_actor_method(actor, seq)? {
-            Some(t) => t,
-            None => break, // End of log (or a hole from a crash mid-log).
-        };
+    // Stops at the end of the log (or a hole from a crash mid-log).
+    while let Some(task) = shared.gcs_client.get_actor_method(actor, seq)? {
         let spec_bytes = match shared.gcs_client.get_task(task)? {
             Some(b) => b,
             None => break,

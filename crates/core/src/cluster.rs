@@ -12,7 +12,7 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 
 use crossbeam_channel::unbounded;
-use parking_lot::{Mutex, RwLock};
+use ray_common::sync::{classes, OrderedMutex, OrderedRwLock};
 
 use ray_common::metrics::MetricsRegistry;
 use ray_common::{NodeId, RayConfig, RayError, RayResult};
@@ -49,7 +49,7 @@ use crate::runtime::{GlobalMsg, InflightTable, NodeMsg, RuntimeShared};
 /// ```
 pub struct Cluster {
     shared: Arc<RuntimeShared>,
-    global_join: Mutex<Option<JoinHandle<()>>>,
+    global_join: OrderedMutex<Option<JoinHandle<()>>>,
 }
 
 impl Cluster {
@@ -57,6 +57,8 @@ impl Cluster {
     pub fn start(config: RayConfig) -> RayResult<Cluster> {
         config.validate().map_err(RayError::Invalid)?;
         let metrics = MetricsRegistry::new();
+        // Long lock holds (debug builds) surface as a counter here.
+        ray_common::sync::install_long_hold_metrics(metrics.clone());
         // Node-slot capacity leaves headroom for add_node/restart cycles.
         let capacity = config.num_nodes * 2 + 8;
 
@@ -93,12 +95,12 @@ impl Cluster {
             load,
             global,
             global_tx,
-            nodes: RwLock::new(Vec::new()),
+            nodes: OrderedRwLock::new(&classes::RUNTIME_NODES, Vec::new()),
             queue_lens: (0..capacity).map(|_| AtomicUsize::new(0)).collect(),
             inflight: InflightTable::new(),
             actors: ActorRouter::new(),
-            stalled: Mutex::new(HashMap::new()),
-            topology: Mutex::new(()),
+            stalled: OrderedMutex::new(&classes::STALLED_TASKS, HashMap::new()),
+            topology: OrderedMutex::new(&classes::CLUSTER_TOPOLOGY, ()),
             shutting_down: AtomicBool::new(false),
             driver_counter: AtomicU64::new(1),
         });
@@ -113,7 +115,7 @@ impl Cluster {
         }
 
         let global_join = start_global(shared.clone(), global_rx);
-        Ok(Cluster { shared, global_join: Mutex::new(Some(global_join)) })
+        Ok(Cluster { shared, global_join: OrderedMutex::new(&classes::GLOBAL_JOIN, Some(global_join)) })
     }
 
     /// Starts a cluster with the default (2-node) configuration.
@@ -271,7 +273,7 @@ impl Cluster {
         let _topology = self.shared.topology.lock();
         {
             let nodes = self.shared.nodes.read();
-            if nodes.get(node.index()).map_or(false, |s| s.is_some()) {
+            if nodes.get(node.index()).is_some_and(|s| s.is_some()) {
                 return Err(RayError::Invalid(format!("{node} is already running")));
             }
         }

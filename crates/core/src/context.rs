@@ -28,6 +28,9 @@ use crate::lineage::{ensure_object_at_deadline, DEFAULT_GET_DEADLINE};
 use crate::runtime::{check_error_object, NodeMsg, RuntimeShared};
 use crate::task::{Arg, ObjectRef, TaskKind, TaskOptions, TaskSpec};
 
+/// The two halves of a [`RayContext::wait_refs`] result: the refs that
+/// became ready in time, and the ones still pending.
+pub type ReadyPending<T> = (Vec<ObjectRef<T>>, Vec<ObjectRef<T>>);
 
 /// A handle to a remote actor. Cloneable; clones address the same actor.
 #[derive(Debug, Clone)]
@@ -109,10 +112,7 @@ impl RayContext {
     /// Stores a value in the local object store and returns a future for
     /// it. `put` objects carry no lineage: if every replica is lost they
     /// cannot be reconstructed (paper §4.2.3 reconstructs task outputs).
-    pub fn put<T: Serialize + ?Sized>(&self, value: &T) -> RayResult<ObjectRef<T>>
-    where
-        T: Sized,
-    {
+    pub fn put<T: Serialize>(&self, value: &T) -> RayResult<ObjectRef<T>> {
         let bytes = ray_codec::encode_bytes(value).map_err(RayError::from)?;
         Ok(ObjectRef::from_id(self.put_raw(bytes)?))
     }
@@ -242,13 +242,14 @@ impl RayContext {
         Ok((ready, pending_ordered))
     }
 
-    /// Typed wrapper over [`Self::wait`].
+    /// Typed wrapper over [`Self::wait`]: the ready and still-pending
+    /// halves of the request, as [`ObjectRef`]s.
     pub fn wait_refs<T>(
         &self,
         refs: &[ObjectRef<T>],
         num_ready: usize,
         timeout: Duration,
-    ) -> RayResult<(Vec<ObjectRef<T>>, Vec<ObjectRef<T>>)> {
+    ) -> RayResult<ReadyPending<T>> {
         let ids: Vec<ObjectId> = refs.iter().map(|r| r.id()).collect();
         let (ready, pending) = self.wait(&ids, num_ready, timeout)?;
         Ok((

@@ -100,9 +100,20 @@ fn try_place(
             match shared.place_on(node, spec.clone()) {
                 Ok(()) => None,
                 Err(_) => {
-                    // The chosen node died in the decision→delivery window:
-                    // update the shared view and retry elsewhere.
-                    shared.load.mark_dead(node);
+                    // The chosen node died in the decision→delivery window.
+                    // With the failure detector running, leave discovery to
+                    // it: one failed delivery is suspicion, not a death
+                    // certificate, and marking the node dead here would drop
+                    // it from the detector's live-node sweep — silencing the
+                    // death protocol (GCS death mark, directory cleanup,
+                    // actor recovery) entirely. The task retries and places
+                    // elsewhere once the detector buries the node.
+                    if !shared.config.fault.detector_enabled {
+                        // No detector to notice the silence: update the
+                        // shared view directly so placement stops choosing
+                        // the vanished node.
+                        shared.load.mark_dead(node);
+                    }
                     Some((spec, from))
                 }
             }

@@ -13,7 +13,7 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use crossbeam_channel::{unbounded, RecvTimeoutError};
-use parking_lot::Mutex;
+use ray_common::sync::{classes, OrderedMutex};
 
 use ray_common::NodeId;
 use ray_scheduler::{NodeLoad, ResourceLedger};
@@ -77,7 +77,7 @@ pub(crate) fn start_node(shared: &Arc<RuntimeShared>, node: NodeId) -> Arc<NodeH
         store,
         ledger: ledger.clone(),
         alive: alive.clone(),
-        join: Mutex::new(None),
+        join: OrderedMutex::new(&classes::NODE_JOIN, None),
     });
 
     {

@@ -15,7 +15,7 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 use bytes::Bytes;
-use parking_lot::RwLock;
+use ray_common::sync::{classes, OrderedRwLock};
 
 use ray_common::{FunctionId, RayError, RayResult};
 use serde::de::DeserializeOwned;
@@ -63,9 +63,17 @@ enum Registered {
 }
 
 /// The shared registry of remote functions and actor classes.
-#[derive(Clone, Default)]
+#[derive(Clone)]
 pub struct FunctionRegistry {
-    inner: Arc<RwLock<HashMap<FunctionId, (String, Registered)>>>,
+    inner: Arc<OrderedRwLock<HashMap<FunctionId, (String, Registered)>>>,
+}
+
+impl Default for FunctionRegistry {
+    fn default() -> Self {
+        FunctionRegistry {
+            inner: Arc::new(OrderedRwLock::new(&classes::FUNCTION_REGISTRY, HashMap::new())),
+        }
+    }
 }
 
 impl FunctionRegistry {

@@ -18,7 +18,7 @@ use std::time::Instant;
 
 use bytes::Bytes;
 use crossbeam_channel::Sender;
-use parking_lot::{Mutex, RwLock};
+use ray_common::sync::{classes, OrderedMutex, OrderedRwLock};
 
 use ray_common::metrics::{names, MetricsRegistry};
 use ray_common::{NodeId, ObjectId, RayConfig, RayError, RayResult, Resources, TaskId};
@@ -79,22 +79,26 @@ pub(crate) struct NodeHandle {
     pub store: Arc<LocalObjectStore>,
     pub ledger: Arc<ResourceLedger>,
     pub alive: Arc<AtomicBool>,
-    pub join: Mutex<Option<JoinHandle<()>>>,
+    pub join: OrderedMutex<Option<JoinHandle<()>>>,
 }
 
 /// Sharded task → assigned-node table, used to decide whether a missing
 /// object's producer is still running somewhere live (reconstruction
 /// gating).
 pub(crate) struct InflightTable {
-    shards: Vec<Mutex<HashMap<TaskId, NodeId>>>,
+    shards: Vec<OrderedMutex<HashMap<TaskId, NodeId>>>,
 }
 
 impl InflightTable {
     pub fn new() -> InflightTable {
-        InflightTable { shards: (0..16).map(|_| Mutex::new(HashMap::new())).collect() }
+        InflightTable {
+            shards: (0..16)
+                .map(|_| OrderedMutex::new(&classes::INFLIGHT_SHARD, HashMap::new()))
+                .collect(),
+        }
     }
 
-    fn shard(&self, task: TaskId) -> &Mutex<HashMap<TaskId, NodeId>> {
+    fn shard(&self, task: TaskId) -> &OrderedMutex<HashMap<TaskId, NodeId>> {
         &self.shards[(task.digest() % 16) as usize]
     }
 
@@ -145,17 +149,17 @@ pub struct RuntimeShared {
     pub(crate) load: Arc<LoadTable>,
     pub(crate) global: GlobalScheduler,
     pub(crate) global_tx: Sender<GlobalMsg>,
-    pub(crate) nodes: RwLock<Vec<Option<Arc<NodeHandle>>>>,
+    pub(crate) nodes: OrderedRwLock<Vec<Option<Arc<NodeHandle>>>>,
     pub(crate) queue_lens: Vec<AtomicUsize>,
     pub(crate) inflight: InflightTable,
     pub(crate) actors: ActorRouter,
     /// Per-task resubmission backoff for stalled producers (dedups the
     /// many consumers that time out on the same missing object at once).
-    pub(crate) stalled: Mutex<HashMap<TaskId, StalledEntry>>,
+    pub(crate) stalled: OrderedMutex<HashMap<TaskId, StalledEntry>>,
     /// Serializes node-slot claims (`add_node`/`restart_node`): the scan
     /// for a free slot and the `start_node` that fills it must be atomic
     /// with respect to other topology changes.
-    pub(crate) topology: Mutex<()>,
+    pub(crate) topology: OrderedMutex<()>,
     pub(crate) shutting_down: AtomicBool,
     pub(crate) driver_counter: AtomicU64,
 }

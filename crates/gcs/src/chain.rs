@@ -20,10 +20,10 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
 use crossbeam_channel::bounded;
-use parking_lot::{Mutex, RwLock};
 
 use ray_common::config::GcsConfig;
 use ray_common::metrics::MetricsRegistry;
+use ray_common::sync::{classes, OrderedMutex, OrderedRwLock};
 use ray_common::{RayError, RayResult, ShardId};
 
 use crate::flush::DiskStore;
@@ -53,8 +53,8 @@ pub struct Chain {
     shard_id: ShardId,
     cfg: GcsConfig,
     metrics: MetricsRegistry,
-    members: RwLock<Vec<ReplicaHandle>>,
-    reconfig: Mutex<()>,
+    members: OrderedRwLock<Vec<ReplicaHandle>>,
+    reconfig: OrderedMutex<()>,
     next_replica_id: AtomicU64,
     committed: AtomicU64,
     reconfigurations: AtomicU64,
@@ -69,8 +69,8 @@ impl Chain {
             shard_id,
             cfg: cfg.clone(),
             metrics,
-            members: RwLock::new(Vec::new()),
-            reconfig: Mutex::new(()),
+            members: OrderedRwLock::new(&classes::GCS_MEMBERS, Vec::new()),
+            reconfig: OrderedMutex::new(&classes::GCS_RECONFIG, ()),
             next_replica_id: AtomicU64::new(0),
             committed: AtomicU64::new(0),
             reconfigurations: AtomicU64::new(0),

@@ -22,9 +22,9 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 
 use bytes::Bytes;
-use parking_lot::Mutex;
 
 use ray_common::config::GcsConfig;
+use ray_common::sync::{classes, OrderedMutex};
 
 use crate::chain::Chain;
 use crate::kv::{Entry, Key, Table, UpdateOp};
@@ -35,8 +35,8 @@ use crate::kv::{Entry, Key, Table, UpdateOp};
 /// different replicas are harmless because the index keeps only the latest
 /// offset per key.
 pub struct DiskStore {
-    backing: Mutex<Backing>,
-    index: Mutex<HashMap<Key, (u64, u32)>>,
+    backing: OrderedMutex<Backing>,
+    index: OrderedMutex<HashMap<Key, (u64, u32)>>,
     bytes_written: AtomicU64,
 }
 
@@ -57,8 +57,8 @@ impl DiskStore {
             .truncate(true)
             .open(&path)?;
         Ok(DiskStore {
-            backing: Mutex::new(Backing::File { file, len: 0, path }),
-            index: Mutex::new(HashMap::new()),
+            backing: OrderedMutex::new(&classes::GCS_DISK_BACKING, Backing::File { file, len: 0, path }),
+            index: OrderedMutex::new(&classes::GCS_DISK_INDEX, HashMap::new()),
             bytes_written: AtomicU64::new(0),
         })
     }
@@ -67,8 +67,8 @@ impl DiskStore {
     /// paths and accounting).
     pub fn in_memory() -> DiskStore {
         DiskStore {
-            backing: Mutex::new(Backing::Memory(Vec::new())),
-            index: Mutex::new(HashMap::new()),
+            backing: OrderedMutex::new(&classes::GCS_DISK_BACKING, Backing::Memory(Vec::new())),
+            index: OrderedMutex::new(&classes::GCS_DISK_INDEX, HashMap::new()),
             bytes_written: AtomicU64::new(0),
         }
     }
@@ -216,7 +216,7 @@ fn decode_entry(buf: &[u8]) -> Option<Entry> {
 /// configured in-memory high-water mark.
 pub struct Flusher {
     stop: Arc<AtomicBool>,
-    handle: Mutex<Option<JoinHandle<()>>>,
+    handle: OrderedMutex<Option<JoinHandle<()>>>,
 }
 
 impl Flusher {
@@ -239,7 +239,7 @@ impl Flusher {
                 }
             })
             .expect("spawn gcs-flusher");
-        Flusher { stop, handle: Mutex::new(Some(handle)) }
+        Flusher { stop, handle: OrderedMutex::new(&classes::GCS_FLUSHER_JOIN, Some(handle)) }
     }
 
     /// Stops the flusher thread (idempotent).

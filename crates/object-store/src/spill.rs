@@ -13,14 +13,14 @@ use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use bytes::Bytes;
-use parking_lot::Mutex;
+use ray_common::sync::{classes, OrderedMutex};
 
 use ray_common::ObjectId;
 
 /// Per-node spill storage.
 pub struct SpillStore {
-    backing: Mutex<Backing>,
-    index: Mutex<HashMap<ObjectId, (u64, u64)>>,
+    backing: OrderedMutex<Backing>,
+    index: OrderedMutex<HashMap<ObjectId, (u64, u64)>>,
     bytes_spilled: AtomicU64,
 }
 
@@ -39,8 +39,8 @@ impl SpillStore {
             .truncate(true)
             .open(path)?;
         Ok(SpillStore {
-            backing: Mutex::new(Backing::File { file, len: 0 }),
-            index: Mutex::new(HashMap::new()),
+            backing: OrderedMutex::new(&classes::SPILL_BACKING, Backing::File { file, len: 0 }),
+            index: OrderedMutex::new(&classes::SPILL_INDEX, HashMap::new()),
             bytes_spilled: AtomicU64::new(0),
         })
     }
@@ -49,8 +49,8 @@ impl SpillStore {
     /// same code paths, no filesystem churn).
     pub fn in_memory() -> SpillStore {
         SpillStore {
-            backing: Mutex::new(Backing::Memory(Vec::new())),
-            index: Mutex::new(HashMap::new()),
+            backing: OrderedMutex::new(&classes::SPILL_BACKING, Backing::Memory(Vec::new())),
+            index: OrderedMutex::new(&classes::SPILL_INDEX, HashMap::new()),
             bytes_spilled: AtomicU64::new(0),
         }
     }

@@ -15,7 +15,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 
 use bytes::Bytes;
 use crossbeam_channel::Sender;
-use parking_lot::{Condvar, Mutex};
+use ray_common::sync::{classes, OrderedCondvar, OrderedMutex};
 
 use ray_common::config::ObjectStoreConfig;
 use ray_common::{NodeId, ObjectId, RayError, RayResult};
@@ -55,8 +55,8 @@ pub struct LocalObjectStore {
     node: NodeId,
     capacity: usize,
     spill_enabled: bool,
-    map: Mutex<StoreMap>,
-    sealed_cond: Condvar,
+    map: OrderedMutex<StoreMap>,
+    sealed_cond: OrderedCondvar,
     access_counter: AtomicU64,
     spill: SpillStore,
     puts: AtomicU64,
@@ -70,13 +70,13 @@ impl LocalObjectStore {
             node,
             capacity: cfg.capacity_bytes,
             spill_enabled: cfg.spill_enabled,
-            map: Mutex::new(StoreMap {
+            map: OrderedMutex::new(&classes::STORE_MAP, StoreMap {
                 objects: HashMap::new(),
                 lru: BTreeMap::new(),
                 resident_bytes: 0,
                 waiters: HashMap::new(),
             }),
-            sealed_cond: Condvar::new(),
+            sealed_cond: OrderedCondvar::new(),
             access_counter: AtomicU64::new(0),
             spill: SpillStore::in_memory(),
             puts: AtomicU64::new(0),

@@ -12,7 +12,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use bytes::Bytes;
-use parking_lot::RwLock;
+use ray_common::sync::{classes, OrderedRwLock};
 
 use ray_common::metrics::{names, MetricsRegistry};
 use ray_common::util::Backoff;
@@ -31,9 +31,17 @@ const TRANSFER_RETRY_LIMIT: u32 = 6;
 /// Stands in for each store's network server endpoint: the transfer path
 /// uses it to read the source replica's bytes after the fabric has charged
 /// the wire time.
-#[derive(Clone, Default)]
+#[derive(Clone)]
 pub struct StoreDirectory {
-    stores: Arc<RwLock<Vec<Option<Arc<LocalObjectStore>>>>>,
+    stores: Arc<OrderedRwLock<Vec<Option<Arc<LocalObjectStore>>>>>,
+}
+
+impl Default for StoreDirectory {
+    fn default() -> Self {
+        StoreDirectory {
+            stores: Arc::new(OrderedRwLock::new(&classes::STORE_DIRECTORY, Vec::new())),
+        }
+    }
 }
 
 impl StoreDirectory {

@@ -145,11 +145,11 @@ pub fn ray_ring_allreduce(
     let mut chunk_ids: Vec<ray_common::ObjectId> = Vec::with_capacity(2 * (n - 1) * n);
     for step in 0..n - 1 {
         let mut chunk_refs = Vec::with_capacity(n);
-        for i in 0..n {
+        for (i, handle) in handles.iter().enumerate() {
             let send_chunk = (i + n - step) % n;
             let (lo, hi) = bounds[send_chunk];
             let chunk_ref = ctx.call_actor::<Blob>(
-                &handles[i],
+                handle,
                 "chunk",
                 vec![Arg::value(&(lo as u64))?, Arg::value(&(hi as u64))?],
             )?;
@@ -175,11 +175,11 @@ pub fn ray_ring_allreduce(
     // circulates it, same send-before-receive discipline.
     for step in 0..n - 1 {
         let mut chunk_refs = Vec::with_capacity(n);
-        for i in 0..n {
+        for (i, handle) in handles.iter().enumerate() {
             let send_chunk = (i + 1 + n - step) % n;
             let (lo, hi) = bounds[send_chunk];
             let chunk_ref = ctx.call_actor::<Blob>(
-                &handles[i],
+                handle,
                 "chunk",
                 vec![Arg::value(&(lo as u64))?, Arg::value(&(hi as u64))?],
             )?;
@@ -278,10 +278,10 @@ pub fn ray_task_ring_allreduce(
     // rewiring: rank i's view of chunk c becomes the owner's object).
     for step in 0..n - 1 {
         let mut updates = Vec::with_capacity(n);
-        for i in 0..n {
+        for (i, row) in chunks.iter().enumerate() {
             let c = (i + 1 + n - step) % n;
             let recv = (i + 1) % n;
-            updates.push((recv, c, chunks[i][c]));
+            updates.push((recv, c, row[c]));
         }
         for (recv, c, obj) in updates {
             chunks[recv][c] = obj;

@@ -134,9 +134,9 @@ impl Environment for HumanoidLike {
         let _ = self.spin();
         let mut dot = 0.0;
         let mut norm_a = 1e-9;
-        for i in 0..ACT_DIM.min(action.len()) {
-            dot += action[i] * self.target[i];
-            norm_a += action[i] * action[i];
+        for (a, t) in action.iter().zip(&self.target).take(ACT_DIM) {
+            dot += a * t;
+            norm_a += a * a;
         }
         let alignment = (dot / norm_a.sqrt()).clamp(-1.0, 1.0);
         let reward = MAX_STEP_REWARD * (alignment + 1.0) / 2.0;
@@ -233,7 +233,7 @@ mod tests {
     fn huge_actions_fall_immediately() {
         let mut env = HumanoidLike::with_params(1000, 1000, 1);
         env.reset(7);
-        let (_, _, done) = env.step(&vec![100.0; ACT_DIM]);
+        let (_, _, done) = env.step(&[100.0; ACT_DIM]);
         assert!(done);
     }
 

@@ -241,7 +241,7 @@ pub fn train_es(cluster: &Cluster, cfg: &EsConfig) -> RayResult<EsReport> {
     register(cluster);
     let ctx = cluster.driver();
     let mut policy =
-        policy_for(&cfg.env).map_err(|m| RayError::Invalid(m))?;
+        policy_for(&cfg.env).map_err(RayError::Invalid)?;
     let dims = policy.num_params();
     let mut params = policy.params();
     let mut rng = EnvRng::new(cfg.seed);
@@ -414,7 +414,7 @@ where
     let threads = threads.clamp(1, items.len().max(1));
     let mut out: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
     let next = std::sync::atomic::AtomicUsize::new(0);
-    let out_slots = parking_lot::Mutex::new(&mut out);
+    let out_slots = ray_common::sync::OrderedMutex::new(&ray_common::sync::classes::RL_SCRATCH, &mut out);
     std::thread::scope(|s| {
         for _ in 0..threads {
             s.spawn(|| loop {

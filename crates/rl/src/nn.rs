@@ -280,9 +280,9 @@ impl SgdOptimizer {
     pub fn step(&mut self, params: &mut [f64], grads: &Gradients) {
         assert_eq!(params.len(), self.velocity.len());
         assert_eq!(params.len(), grads.0.len());
-        for i in 0..params.len() {
+        for (i, p) in params.iter_mut().enumerate() {
             self.velocity[i] = self.momentum * self.velocity[i] - self.lr * grads.0[i];
-            params[i] += self.velocity[i];
+            *p += self.velocity[i];
         }
     }
 }

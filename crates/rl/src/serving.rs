@@ -66,7 +66,7 @@ pub fn rest_encode(data: &[u8]) -> Vec<u8> {
 
 /// Decodes [`rest_encode`] output.
 pub fn rest_decode(text: &[u8]) -> Result<Vec<u8>, String> {
-    if text.len() % 2 != 0 {
+    if !text.len().is_multiple_of(2) {
         return Err("odd-length hex payload".into());
     }
     fn nibble(c: u8) -> Result<u8, String> {
@@ -112,7 +112,7 @@ fn synthesize_states(state_bytes: usize, batch: usize, round: u64) -> Blob {
 }
 
 fn evaluate_batch(states: &[u8], state_bytes: usize, eval_spin: u64) -> Vec<u8> {
-    let count = if state_bytes == 0 { 0 } else { states.len() / state_bytes };
+    let count = states.len().checked_div(state_bytes).unwrap_or(0);
     // One spin per batch (models batched inference) plus a touch of every
     // state's bytes (the model must at least read its input).
     let mut checksum = 0u64;

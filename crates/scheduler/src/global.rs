@@ -18,7 +18,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use parking_lot::Mutex;
+use ray_common::sync::{classes, OrderedMutex};
 
 use ray_common::config::SchedulerPolicy;
 use ray_common::{NodeId, ObjectId, RayResult, Resources, TaskId};
@@ -64,7 +64,7 @@ struct Inner {
     load: Arc<LoadTable>,
     gcs: GcsClient,
     decision_delay: Duration,
-    location_cache: Mutex<HashMap<ObjectId, LocationCacheEntry>>,
+    location_cache: OrderedMutex<HashMap<ObjectId, LocationCacheEntry>>,
     decisions: AtomicU64,
     rng_state: AtomicU64,
 }
@@ -84,7 +84,7 @@ impl GlobalScheduler {
                 load,
                 gcs,
                 decision_delay,
-                location_cache: Mutex::new(HashMap::new()),
+                location_cache: OrderedMutex::new(&classes::SCHED_LOCATION_CACHE, HashMap::new()),
                 decisions: AtomicU64::new(0),
                 rng_state: AtomicU64::new(seed | 1),
             }),
@@ -181,7 +181,7 @@ impl GlobalScheduler {
                         // Reservoir-sample among exact ties so equal nodes
                         // share load instead of hot-spotting the lowest ID.
                         ties += 1;
-                        if self.next_rand() % (ties + 1) == 0 {
+                        if self.next_rand().is_multiple_of(ties + 1) {
                             *best_node = cand.node;
                         }
                     }

@@ -4,7 +4,7 @@
 //! demand, completion releases it. The ledger enforces conservation:
 //! available resources never exceed capacity and never go negative.
 
-use parking_lot::Mutex;
+use ray_common::sync::{classes, OrderedMutex};
 
 use ray_common::Resources;
 
@@ -26,13 +26,13 @@ use ray_common::Resources;
 /// ```
 pub struct ResourceLedger {
     capacity: Resources,
-    available: Mutex<Resources>,
+    available: OrderedMutex<Resources>,
 }
 
 impl ResourceLedger {
     /// Creates a ledger with the given capacity, all of it available.
     pub fn new(capacity: Resources) -> ResourceLedger {
-        ResourceLedger { available: Mutex::new(capacity.clone()), capacity }
+        ResourceLedger { available: OrderedMutex::new(&classes::SCHED_LEDGER, capacity.clone()), capacity }
     }
 
     /// The node's total capacity.

@@ -8,7 +8,7 @@
 
 use std::time::Instant;
 
-use parking_lot::RwLock;
+use ray_common::sync::{classes, OrderedRwLock};
 
 use ray_common::util::Ewma;
 use ray_common::{NodeId, Resources};
@@ -37,9 +37,9 @@ struct NodeEntry {
 
 /// Shared table of per-node load, plus a cluster-wide bandwidth estimate.
 pub struct LoadTable {
-    nodes: RwLock<Vec<Option<NodeEntry>>>,
+    nodes: OrderedRwLock<Vec<Option<NodeEntry>>>,
     /// EWMA of observed transfer bandwidth, bytes/ms.
-    avg_bandwidth: RwLock<Ewma>,
+    avg_bandwidth: OrderedRwLock<Ewma>,
     ewma_alpha: f64,
 }
 
@@ -47,8 +47,8 @@ impl LoadTable {
     /// Creates an empty table with the given EWMA smoothing factor.
     pub fn new(ewma_alpha: f64) -> LoadTable {
         LoadTable {
-            nodes: RwLock::new(Vec::new()),
-            avg_bandwidth: RwLock::new(Ewma::new(ewma_alpha)),
+            nodes: OrderedRwLock::new(&classes::SCHED_LOAD_NODES, Vec::new()),
+            avg_bandwidth: OrderedRwLock::new(&classes::SCHED_LOAD_BANDWIDTH, Ewma::new(ewma_alpha)),
             ewma_alpha,
         }
     }

@@ -5,10 +5,9 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
-use parking_lot::{Mutex, RwLock};
-
 use ray_common::config::{ChaosConfig, TransportConfig};
 use ray_common::metrics::{names, MetricsRegistry};
+use ray_common::sync::{classes, OrderedMutex, OrderedRwLock};
 use ray_common::util::DetRng;
 use ray_common::{NodeId, RayError, RayResult};
 
@@ -38,8 +37,8 @@ pub struct Fabric {
 struct Inner {
     model: LinkModel,
     alive: Vec<AtomicBool>,
-    partitions: RwLock<HashSet<(u32, u32)>>,
-    lanes: RwLock<HashMap<(u32, u32), Arc<Semaphore>>>,
+    partitions: OrderedRwLock<HashSet<(u32, u32)>>,
+    lanes: OrderedRwLock<HashMap<(u32, u32), Arc<Semaphore>>>,
     bytes_transferred: AtomicU64,
     transfers: AtomicU64,
     /// When `false`, wire time is computed but not slept (pure-model mode
@@ -47,7 +46,7 @@ struct Inner {
     real_time: AtomicBool,
     /// Seeded fault injection (drops + extra delay) applied per message.
     chaos: ChaosConfig,
-    chaos_rng: Mutex<DetRng>,
+    chaos_rng: OrderedMutex<DetRng>,
     dropped: AtomicU64,
     metrics: MetricsRegistry,
 }
@@ -69,13 +68,13 @@ impl Fabric {
             inner: Arc::new(Inner {
                 model: LinkModel::from_config(cfg),
                 alive: (0..num_nodes).map(|_| AtomicBool::new(true)).collect(),
-                partitions: RwLock::new(HashSet::new()),
-                lanes: RwLock::new(HashMap::new()),
+                partitions: OrderedRwLock::new(&classes::FABRIC_PARTITIONS, HashSet::new()),
+                lanes: OrderedRwLock::new(&classes::FABRIC_LANES, HashMap::new()),
                 bytes_transferred: AtomicU64::new(0),
                 transfers: AtomicU64::new(0),
                 real_time: AtomicBool::new(true),
                 chaos: cfg.chaos.clone(),
-                chaos_rng: Mutex::new(DetRng::new(cfg.chaos.seed)),
+                chaos_rng: OrderedMutex::new(&classes::FABRIC_CHAOS_RNG, DetRng::new(cfg.chaos.seed)),
                 dropped: AtomicU64::new(0),
                 metrics,
             }),

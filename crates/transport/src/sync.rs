@@ -1,10 +1,10 @@
-//! A counting semaphore built on `parking_lot`.
+//! A counting semaphore built on the workspace's ranked locks.
 //!
 //! Used by [`crate::fabric::Fabric`] to model a bounded pool of connection
 //! lanes per link: a striped transfer holds several permits for its
 //! duration, so concurrent transfers on the same link genuinely contend.
 
-use parking_lot::{Condvar, Mutex};
+use ray_common::sync::{classes, OrderedCondvar, OrderedMutex};
 
 /// A counting semaphore.
 ///
@@ -19,8 +19,8 @@ use parking_lot::{Condvar, Mutex};
 /// assert_eq!(s.available(), 2);
 /// ```
 pub struct Semaphore {
-    permits: Mutex<usize>,
-    cond: Condvar,
+    permits: OrderedMutex<usize>,
+    cond: OrderedCondvar,
     capacity: usize,
 }
 
@@ -33,8 +33,23 @@ pub struct Permit<'a> {
 
 impl Semaphore {
     /// Creates a semaphore with `capacity` permits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero: every `acquire` on such a semaphore
+    /// would block forever (there are no permits to hand out, ever), so a
+    /// zero capacity is always a caller bug.
     pub fn new(capacity: usize) -> Self {
-        Semaphore { permits: Mutex::new(capacity), cond: Condvar::new(), capacity }
+        assert!(
+            capacity > 0,
+            "Semaphore capacity must be non-zero: acquire() on an empty \
+             semaphore would block forever"
+        );
+        Semaphore {
+            permits: OrderedMutex::new(&classes::TRANSPORT_SEMAPHORE, capacity),
+            cond: OrderedCondvar::new(),
+            capacity,
+        }
     }
 
     /// Total permit capacity.
@@ -49,8 +64,9 @@ impl Semaphore {
 
     /// Blocks until `count` permits are available, then takes them.
     ///
-    /// `count` is clamped to the capacity so a caller asking for more lanes
-    /// than the link has still makes progress (using every lane).
+    /// `count` is clamped to `1..=capacity`, so a caller asking for more
+    /// lanes than the link has still makes progress (using every lane)
+    /// rather than blocking forever on an unsatisfiable request.
     pub fn acquire(&self, count: usize) -> Permit<'_> {
         let count = count.clamp(1, self.capacity);
         let mut permits = self.permits.lock();
@@ -61,7 +77,8 @@ impl Semaphore {
         Permit { sem: self, count }
     }
 
-    /// Takes `count` permits if immediately available.
+    /// Takes `count` permits if immediately available (same clamping as
+    /// [`Semaphore::acquire`]).
     pub fn try_acquire(&self, count: usize) -> Option<Permit<'_>> {
         let count = count.clamp(1, self.capacity);
         let mut permits = self.permits.lock();
@@ -124,6 +141,25 @@ mod tests {
         let s = Semaphore::new(2);
         let p = s.acquire(100);
         assert_eq!(p.count(), 2);
+    }
+
+    #[test]
+    fn oversized_try_acquire_is_clamped_too() {
+        let s = Semaphore::new(2);
+        let p = s.try_acquire(usize::MAX).expect("all lanes free");
+        assert_eq!(p.count(), 2);
+        drop(p);
+        assert_eq!(s.available(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "Semaphore capacity must be non-zero")]
+    fn zero_capacity_panics_clearly() {
+        // Regression: this used to panic deep inside `usize::clamp` with
+        // "assertion failed: min <= max" on the first acquire — or, with a
+        // hand-rolled clamp, block forever. The constructor now rejects it
+        // with an actionable message.
+        let _ = Semaphore::new(0);
     }
 
     #[test]

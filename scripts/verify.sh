@@ -9,6 +9,12 @@ cd "$(dirname "$0")/.."
 
 export RUSTFLAGS="${RUSTFLAGS:--D warnings}"
 
+echo "== lock-discipline lint =="
+cargo run -q -p xtask -- lint
+
+echo "== clippy =="
+cargo clippy --workspace -- -D warnings
+
 echo "== tier 1: release build =="
 cargo build --release
 

@@ -5,7 +5,7 @@
 use std::time::Duration;
 
 use bytes::Bytes;
-use ray_repro::common::{NodeId, RayConfig, RayError, Resources};
+use ray_repro::common::{RayConfig, RayError, Resources};
 use ray_repro::ray::registry::RemoteResult;
 use ray_repro::ray::task::{Arg, ObjectRef, TaskOptions};
 use ray_repro::ray::{decode_arg, encode_return, ActorInstance, Cluster, RayContext};

@@ -288,6 +288,10 @@ fn run_seeded_schedule(seed: u64) {
             "seed {seed}: node {n} must be live after repair"
         );
     }
+    // The whole episode — kills, partitions, recovery — must leave the
+    // lock acquisition-order graph acyclic (debug builds only; the
+    // detector compiles out in release).
+    ray_repro::common::sync::assert_acyclic();
     cluster.shutdown();
 }
 
@@ -342,4 +346,50 @@ fn workloads_survive_seeded_message_drops() {
     // Nothing here should have looked like a node failure.
     assert_eq!(cluster.live_nodes(), 3);
     cluster.shutdown();
+}
+
+/// Soak iteration for the lock-order detector: repeated
+/// kill → partition → recover episodes under live workload traffic, with
+/// the acquisition-order graph checked for cycles after every episode.
+/// A single run only witnesses one interleaving; iterating accumulates
+/// edges from many (the graph is process-global and only ever grows), so a
+/// latent inversion anywhere on the failure-handling paths shows up here
+/// as a cycle even if no run actually deadlocked.
+#[test]
+fn lock_graph_stays_acyclic_across_chaos_soak() {
+    let nodes = 3u32;
+    let cluster =
+        Cluster::start(chaos_config(nodes as usize, Duration::from_millis(200))).unwrap();
+    cluster.register_fn1("inc", |x: u64| x + 1);
+    let ctx = cluster.driver();
+
+    for episode in 0u32..4 {
+        // Rotate the victim among the non-root nodes.
+        let victim = NodeId(1 + episode % (nodes - 1));
+        let other = NodeId(1 + (episode + 1) % (nodes - 1));
+
+        // Keep tasks flowing while the fault is live so the episode
+        // exercises the reconstruction and rerouting lock paths.
+        let fut: ObjectRef<u64> =
+            ctx.call("inc", vec![Arg::value(&u64::from(episode)).unwrap()]).unwrap();
+
+        chaos::apply(&cluster, chaos::ChaosAction::KillAbrupt(victim));
+        chaos::apply(&cluster, chaos::ChaosAction::Partition(NodeId(0), other));
+        assert_eq!(
+            ctx.get_with_timeout(&fut, Duration::from_secs(120)).unwrap(),
+            u64::from(episode) + 1,
+            "episode {episode}: work must survive the fault"
+        );
+
+        chaos::apply(&cluster, chaos::ChaosAction::Heal(NodeId(0), other));
+        chaos::repair(&cluster, nodes);
+        assert_eq!(cluster.live_nodes(), nodes as usize, "episode {episode}");
+
+        // After every kill/partition/recover episode the global
+        // acquisition-order graph must still be a DAG.
+        ray_repro::common::sync::assert_acyclic();
+    }
+
+    cluster.shutdown();
+    ray_repro::common::sync::assert_acyclic();
 }

@@ -105,8 +105,7 @@ fn figure3_train_policy_program() {
         .collect();
     // 10 training steps: rollout on every actor, then update the policy.
     let mut policy: ObjectRef<f64> = {
-        let p = ctx.put(&0.1f64).unwrap();
-        p
+        ctx.put(&0.1f64).unwrap()
     };
     for _ in 0..10 {
         let rollouts: Vec<ObjectRef<f64>> = sims

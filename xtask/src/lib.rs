@@ -1,0 +1,408 @@
+//! Lock-discipline lint: the static half of the ranked-lock enforcement
+//! story (`ray_common::sync` is the dynamic half).
+//!
+//! The lint walks the workspace's Rust sources and rejects:
+//!
+//! 1. **Raw lock imports/uses** — any mention of `parking_lot` or of
+//!    `std::sync::{Mutex, RwLock, Condvar}` outside the one file allowed to
+//!    touch them, `crates/common/src/sync.rs`. Everything else must go
+//!    through [`OrderedMutex`]/[`OrderedRwLock`]/[`OrderedCondvar`], whose
+//!    rank checks only work if nobody side-steps them.
+//! 2. **Poisoning-style guard handling** — `.lock().unwrap()`,
+//!    `.read().unwrap()`, `.write().unwrap()`: a tell-tale sign of a raw
+//!    `std::sync` lock having snuck in.
+//! 3. **Unregistered lock constructions** — `OrderedMutex::new(..)` /
+//!    `OrderedRwLock::new(..)` whose first argument is not a registered
+//!    `LockClass`: either a `&classes::NAME` from the central rank table or
+//!    a `static NAME: LockClass` declared in the same file (test-local
+//!    classes).
+//!
+//! Scanning is line-oriented and intentionally dumb — no syn, no regex
+//! crate, std only — because the gate has to build offline. Line comments
+//! are stripped before matching so prose about `parking_lot` stays legal.
+
+use std::collections::BTreeSet;
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// One lint violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    pub file: PathBuf,
+    /// 1-based line number.
+    pub line: usize,
+    /// Short rule identifier, e.g. `raw-lock`.
+    pub rule: &'static str,
+    /// The offending source line, trimmed.
+    pub excerpt: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file.display(),
+            self.line,
+            self.rule,
+            self.excerpt
+        )
+    }
+}
+
+/// The set of `LockClass` names a construction may legally reference.
+#[derive(Debug, Default, Clone)]
+pub struct ClassRegistry {
+    central: BTreeSet<String>,
+}
+
+impl ClassRegistry {
+    /// Builds the registry from the rank-table source (`sync.rs`).
+    pub fn from_sync_source(sync_src: &str) -> ClassRegistry {
+        ClassRegistry { central: collect_lock_class_statics(sync_src) }
+    }
+
+    fn contains(&self, name: &str) -> bool {
+        self.central.contains(name)
+    }
+
+    /// Number of centrally registered classes (for the summary line).
+    pub fn len(&self) -> usize {
+        self.central.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.central.is_empty()
+    }
+}
+
+/// Extracts identifiers declared as `static NAME: LockClass = ...`
+/// (with or without `pub`) from one source file.
+fn collect_lock_class_statics(src: &str) -> BTreeSet<String> {
+    let mut out = BTreeSet::new();
+    for line in src.lines() {
+        let line = strip_line_comment(line).trim().to_string();
+        let rest = line
+            .strip_prefix("pub static ")
+            .or_else(|| line.strip_prefix("static "));
+        if let Some(rest) = rest {
+            if let Some((name, ty)) = rest.split_once(':') {
+                if ty.trim_start().starts_with("LockClass") {
+                    out.insert(name.trim().to_string());
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Drops a `//` line comment. Keeps `//` that appears inside a string
+/// literal out of scope by only cutting at a `//` with an even number of
+/// unescaped quotes before it — good enough for this codebase.
+fn strip_line_comment(line: &str) -> &str {
+    let bytes = line.as_bytes();
+    let mut in_str = false;
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\\' if in_str => i += 1, // skip escaped char
+            b'"' => in_str = !in_str,
+            b'/' if !in_str && i + 1 < bytes.len() && bytes[i + 1] == b'/' => {
+                return &line[..i];
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    line
+}
+
+fn has_word(haystack: &str, word: &str) -> bool {
+    let mut start = 0;
+    while let Some(pos) = haystack[start..].find(word) {
+        let at = start + pos;
+        let before_ok = at == 0
+            || !haystack.as_bytes()[at - 1].is_ascii_alphanumeric()
+                && haystack.as_bytes()[at - 1] != b'_';
+        let end = at + word.len();
+        let after_ok = end >= haystack.len()
+            || !haystack.as_bytes()[end].is_ascii_alphanumeric()
+                && haystack.as_bytes()[end] != b'_';
+        if before_ok && after_ok {
+            return true;
+        }
+        start = at + word.len();
+    }
+    false
+}
+
+/// Lints one file's contents. `allow_raw` is true only for
+/// `crates/common/src/sync.rs`, which wraps the raw primitives.
+pub fn lint_source(
+    path: &Path,
+    src: &str,
+    registry: &ClassRegistry,
+    allow_raw: bool,
+) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let local_classes = collect_lock_class_statics(src);
+    let lines: Vec<&str> = src.lines().collect();
+
+    for (idx, raw_line) in lines.iter().enumerate() {
+        let line = strip_line_comment(raw_line);
+        let lineno = idx + 1;
+        let push = |findings: &mut Vec<Finding>, rule| {
+            findings.push(Finding {
+                file: path.to_path_buf(),
+                line: lineno,
+                rule,
+                excerpt: raw_line.trim().to_string(),
+            });
+        };
+
+        if !allow_raw {
+            if line.contains("parking_lot") {
+                push(&mut findings, "raw-lock");
+            }
+            let qualified_std_lock = line.contains("std::sync::Mutex")
+                || line.contains("std::sync::RwLock")
+                || line.contains("std::sync::Condvar");
+            let imported_std_lock = line.contains("use std::sync::")
+                && (has_word(line, "Mutex")
+                    || has_word(line, "RwLock")
+                    || has_word(line, "Condvar"));
+            if qualified_std_lock || imported_std_lock {
+                push(&mut findings, "raw-lock");
+            }
+
+            for pat in [".lock().unwrap()", ".read().unwrap()", ".write().unwrap()"] {
+                if line.contains(pat) {
+                    push(&mut findings, "guard-unwrap");
+                }
+            }
+        }
+
+        for ctor in ["OrderedMutex::new(", "OrderedRwLock::new("] {
+            let mut search = 0;
+            while let Some(pos) = line[search..].find(ctor) {
+                let open = search + pos + ctor.len();
+                let first_arg = first_argument(&lines, idx, open);
+                if !argument_is_registered(&first_arg, registry, &local_classes) {
+                    push(&mut findings, "unregistered-class");
+                }
+                search = open;
+            }
+        }
+    }
+    findings
+}
+
+/// Collects the first argument of a call whose opening paren sits at byte
+/// `open` of line `line_idx`, joining up to a handful of following lines if
+/// the argument list wraps.
+fn first_argument(lines: &[&str], line_idx: usize, open: usize) -> String {
+    let mut arg = String::new();
+    let mut depth = 0usize;
+    let mut first = true;
+    for l in lines.iter().skip(line_idx).take(6) {
+        let text = if first {
+            first = false;
+            strip_line_comment(l).get(open..).unwrap_or("")
+        } else {
+            strip_line_comment(l)
+        };
+        for c in text.chars() {
+            match c {
+                '(' | '[' | '{' => depth += 1,
+                ')' | ']' | '}' => {
+                    if depth == 0 {
+                        return arg;
+                    }
+                    depth -= 1;
+                }
+                ',' if depth == 0 => return arg,
+                _ => {}
+            }
+            arg.push(c);
+        }
+        arg.push(' ');
+    }
+    arg
+}
+
+/// A first argument is legal when it is `&<path-to->classes::NAME` with
+/// NAME in the central rank table, or `&NAME` with NAME declared as a
+/// `static NAME: LockClass` in the same file.
+fn argument_is_registered(
+    arg: &str,
+    registry: &ClassRegistry,
+    local: &BTreeSet<String>,
+) -> bool {
+    let arg = arg.trim();
+    let Some(path) = arg.strip_prefix('&') else { return false };
+    let path = path.trim();
+    let segments: Vec<&str> = path.split("::").map(str::trim).collect();
+    let Some(name) = segments.last() else { return false };
+    if segments.len() >= 2 && segments[segments.len() - 2] == "classes" {
+        registry.contains(name)
+    } else if segments.len() == 1 {
+        local.contains(*name) || registry.contains(name)
+    } else {
+        false
+    }
+}
+
+/// Recursively collects `.rs` files under `dir` into `out` (sorted).
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    let mut entries: Vec<_> =
+        std::fs::read_dir(dir)?.collect::<Result<Vec<_>, _>>()?;
+    entries.sort_by_key(|e| e.file_name());
+    for entry in entries {
+        let path = entry.path();
+        let ty = entry.file_type()?;
+        if ty.is_dir() {
+            if path.file_name().is_some_and(|n| n == "target") {
+                continue;
+            }
+            collect_rs_files(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Result of a full lint run.
+pub struct LintReport {
+    pub files_scanned: usize,
+    pub findings: Vec<Finding>,
+}
+
+/// Lints the whole workspace rooted at `root`: `crates/`, plus the root
+/// package's `src/`, `tests/`, and `examples/`. The wrapper module itself
+/// (`crates/common/src/sync.rs`) is the one file allowed to use the raw
+/// primitives. The lint fixtures under `xtask/tests/fixtures` are only
+/// scanned when passed explicitly.
+pub fn lint_workspace(root: &Path) -> std::io::Result<LintReport> {
+    let sync_path = root.join("crates/common/src/sync.rs");
+    let sync_src = std::fs::read_to_string(&sync_path)?;
+    let registry = ClassRegistry::from_sync_source(&sync_src);
+
+    let mut files = Vec::new();
+    for sub in ["crates", "src", "tests", "examples"] {
+        let dir = root.join(sub);
+        if dir.is_dir() {
+            collect_rs_files(&dir, &mut files)?;
+        }
+    }
+
+    let mut findings = Vec::new();
+    let files_scanned = files.len();
+    for file in &files {
+        let src = std::fs::read_to_string(file)?;
+        let allow_raw = file == &sync_path;
+        let rel = file.strip_prefix(root).unwrap_or(file);
+        findings.extend(lint_source(rel, &src, &registry, allow_raw));
+    }
+    Ok(LintReport { files_scanned, findings })
+}
+
+/// Lints explicitly named files (no allowlist — used by the self-test and
+/// for ad-hoc checks of files outside the default walk).
+pub fn lint_paths(root: &Path, paths: &[PathBuf]) -> std::io::Result<LintReport> {
+    let sync_src = std::fs::read_to_string(root.join("crates/common/src/sync.rs"))?;
+    let registry = ClassRegistry::from_sync_source(&sync_src);
+    let mut findings = Vec::new();
+    for file in paths {
+        let src = std::fs::read_to_string(file)?;
+        findings.extend(lint_source(file, &src, &registry, false));
+    }
+    Ok(LintReport { files_scanned: paths.len(), findings })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn reg() -> ClassRegistry {
+        ClassRegistry::from_sync_source(
+            "pub static STORE_MAP: LockClass = LockClass::new(\"object_store.map\", 300);\n",
+        )
+    }
+
+    #[test]
+    fn raw_parking_lot_is_flagged() {
+        let f = lint_source(Path::new("a.rs"), "use parking_lot::Mutex;\n", &reg(), false);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, "raw-lock");
+    }
+
+    #[test]
+    fn comments_about_parking_lot_are_fine() {
+        let f = lint_source(
+            Path::new("a.rs"),
+            "// wraps parking_lot primitives\nlet x = 1;\n",
+            &reg(),
+            false,
+        );
+        assert!(f.is_empty());
+    }
+
+    #[test]
+    fn std_sync_lock_import_is_flagged() {
+        let f = lint_source(
+            Path::new("a.rs"),
+            "use std::sync::{Arc, Mutex};\n",
+            &reg(),
+            false,
+        );
+        assert_eq!(f.len(), 1);
+        // Arc alone stays legal.
+        let ok = lint_source(Path::new("a.rs"), "use std::sync::Arc;\n", &reg(), false);
+        assert!(ok.is_empty());
+    }
+
+    #[test]
+    fn guard_unwrap_is_flagged() {
+        let f = lint_source(
+            Path::new("a.rs"),
+            "let g = m.lock().unwrap();\n",
+            &reg(),
+            false,
+        );
+        assert_eq!(f[0].rule, "guard-unwrap");
+    }
+
+    #[test]
+    fn registered_construction_passes() {
+        let src = "let m = OrderedMutex::new(&classes::STORE_MAP, HashMap::new());\n";
+        assert!(lint_source(Path::new("a.rs"), src, &reg(), false).is_empty());
+        let qualified =
+            "let m = ray_common::sync::OrderedMutex::new(&ray_common::sync::classes::STORE_MAP, 0);\n";
+        assert!(lint_source(Path::new("a.rs"), qualified, &reg(), false).is_empty());
+    }
+
+    #[test]
+    fn unregistered_construction_is_flagged() {
+        let src = "let m = OrderedMutex::new(&classes::NOT_A_CLASS, 0);\n";
+        let f = lint_source(Path::new("a.rs"), src, &reg(), false);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, "unregistered-class");
+    }
+
+    #[test]
+    fn file_local_static_class_passes() {
+        let src = "static T_LOCAL: LockClass = LockClass::new(\"t.local\", 1);\n\
+                   let m = OrderedMutex::new(&T_LOCAL, ());\n";
+        assert!(lint_source(Path::new("a.rs"), src, &reg(), false).is_empty());
+    }
+
+    #[test]
+    fn multiline_construction_is_parsed() {
+        let src = "let m = OrderedRwLock::new(\n    &classes::STORE_MAP,\n    Vec::new(),\n);\n";
+        assert!(lint_source(Path::new("a.rs"), src, &reg(), false).is_empty());
+        let bad = "let m = OrderedRwLock::new(\n    &classes::BOGUS,\n    Vec::new(),\n);\n";
+        let f = lint_source(Path::new("a.rs"), bad, &reg(), false);
+        assert_eq!(f.len(), 1);
+    }
+}

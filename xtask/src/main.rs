@@ -1,0 +1,65 @@
+//! `cargo run -p xtask -- lint [FILES...]`
+//!
+//! With no arguments after `lint`, walks the whole workspace (see
+//! [`xtask::lint_workspace`]) and exits non-zero if any lock-discipline
+//! violation is found. With explicit file arguments, lints only those files
+//! and applies no allowlist (used by the fixture self-test).
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+fn workspace_root() -> PathBuf {
+    // xtask lives at <root>/xtask, so the root is one level up from this
+    // crate's manifest.
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .expect("xtask must live one level below the workspace root")
+        .to_path_buf()
+}
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    match args.next().as_deref() {
+        Some("lint") => {
+            let files: Vec<PathBuf> = args.map(PathBuf::from).collect();
+            let root = workspace_root();
+            let report = if files.is_empty() {
+                xtask::lint_workspace(&root)
+            } else {
+                xtask::lint_paths(&root, &files)
+            };
+            match report {
+                Ok(report) => {
+                    for finding in &report.findings {
+                        eprintln!("{finding}");
+                    }
+                    if report.findings.is_empty() {
+                        println!(
+                            "lock lint: OK ({} file(s) scanned)",
+                            report.files_scanned
+                        );
+                        ExitCode::SUCCESS
+                    } else {
+                        eprintln!(
+                            "lock lint: {} violation(s) in {} file(s) scanned",
+                            report.findings.len(),
+                            report.files_scanned
+                        );
+                        ExitCode::FAILURE
+                    }
+                }
+                Err(e) => {
+                    eprintln!("lock lint: I/O error: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        other => {
+            eprintln!(
+                "usage: cargo run -p xtask -- lint [FILES...]\n\
+                 (got {other:?})"
+            );
+            ExitCode::FAILURE
+        }
+    }
+}

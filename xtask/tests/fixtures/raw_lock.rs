@@ -1,0 +1,14 @@
+//! Lint fixture: every pattern here must be rejected by
+//! `cargo run -p xtask -- lint xtask/tests/fixtures/raw_lock.rs`.
+//! Not compiled as part of any crate.
+
+use parking_lot::Mutex;
+use std::sync::{Arc, RwLock};
+
+fn poisoned_style(m: &std::sync::Mutex<u32>) -> u32 {
+    *m.lock().unwrap()
+}
+
+fn unregistered() {
+    let _bad = OrderedMutex::new(&classes::NOT_IN_THE_RANK_TABLE, 0u32);
+}

@@ -1,0 +1,44 @@
+//! Self-test for the lint gate (satellite of the lock-discipline PR):
+//! the clean tree passes, and the raw-Mutex fixture is rejected with every
+//! rule firing at least once.
+
+use std::path::{Path, PathBuf};
+
+fn root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).parent().unwrap().to_path_buf()
+}
+
+#[test]
+fn clean_tree_passes() {
+    let report = xtask::lint_workspace(&root()).unwrap();
+    assert!(report.files_scanned > 50, "walk found too few files: {}", report.files_scanned);
+    let rendered: Vec<String> =
+        report.findings.iter().map(|f| f.to_string()).collect();
+    assert!(rendered.is_empty(), "clean tree has violations:\n{}", rendered.join("\n"));
+}
+
+#[test]
+fn raw_lock_fixture_is_rejected() {
+    let fixture = root().join("xtask/tests/fixtures/raw_lock.rs");
+    let report = xtask::lint_paths(&root(), &[fixture]).unwrap();
+    let rules: Vec<&str> = report.findings.iter().map(|f| f.rule).collect();
+    assert!(rules.contains(&"raw-lock"), "fixture should trip raw-lock: {rules:?}");
+    assert!(rules.contains(&"guard-unwrap"), "fixture should trip guard-unwrap: {rules:?}");
+    assert!(
+        rules.contains(&"unregistered-class"),
+        "fixture should trip unregistered-class: {rules:?}"
+    );
+    // `use parking_lot::Mutex`, `std::sync::{.. RwLock}`, the fully
+    // qualified `std::sync::Mutex`, the guard unwrap, and the unregistered
+    // construction: at least five distinct findings.
+    assert!(report.findings.len() >= 5, "expected >= 5 findings, got {:?}", report.findings);
+}
+
+#[test]
+fn rank_table_is_populated() {
+    let sync_src =
+        std::fs::read_to_string(root().join("crates/common/src/sync.rs")).unwrap();
+    let registry = xtask::ClassRegistry::from_sync_source(&sync_src);
+    // The central rank table must keep covering every subsystem band.
+    assert!(registry.len() >= 25, "rank table shrank to {} classes", registry.len());
+}
