@@ -11,11 +11,11 @@
 //! scheduler with vs without the locality term; the transport models a
 //! 25Gbps-class link (~3GB/s effective), the paper's network.
 
-use ray_bench::{fmt_duration, mean, quick_mode, Report};
+use ray_bench::{fmt_duration, mean, quick_mode, trace_out, Report};
 use ray_common::config::{SchedulerPolicy, TransportConfig};
 use ray_common::util::human_bytes;
 use ray_common::{NodeId, RayConfig};
-use rustray::task::{Arg, ObjectRef};
+use rustray::task::{Arg, ObjectRef, TaskOptions};
 use rustray::Cluster;
 use std::time::{Duration, Instant};
 
@@ -61,7 +61,47 @@ fn mean_task_latency(policy: SchedulerPolicy, size: usize, tasks: usize) -> Dura
     Duration::from_secs_f64(mean(&latencies))
 }
 
+/// `--trace-out`: run a small traced workload (two nodes, tasks pinned to
+/// alternating nodes so both schedulers execute work) and export the event
+/// log as Chrome `trace_event` JSON for chrome://tracing.
+fn trace_smoke(path: &std::path::Path) {
+    let cfg = RayConfig::builder()
+        .nodes(2)
+        .workers_per_node(1)
+        .seed(7)
+        .tracing(true)
+        .build();
+    let cluster = Cluster::start(cfg).expect("start traced cluster");
+    cluster.register_raw("consume", |_ctx, args| {
+        let data: &[u8] = &args[0];
+        let digest: u64 = data.iter().rev().take(64).map(|&b| b as u64).sum();
+        rustray::encode_return(&digest)
+    });
+    let ctx = cluster.driver_on(NodeId(0));
+    let mut futs: Vec<ObjectRef<u64>> = Vec::new();
+    for i in 0..8u32 {
+        let input: ObjectRef<ray_codec::Blob> = ctx
+            .put(&ray_codec::Blob(vec![(i % 251) as u8; 64 << 10]))
+            .expect("put input");
+        let opts =
+            TaskOptions::default().with_demand(rustray::node_affinity(NodeId(i % 2)));
+        futs.push(ctx.call_opts("consume", vec![Arg::from_ref(&input)], opts).expect("submit"));
+    }
+    for fut in &futs {
+        ctx.get(fut).expect("get");
+    }
+    cluster.write_chrome_trace(path).expect("write chrome trace");
+    cluster.shutdown();
+    println!("trace written to {}", path.display());
+}
+
 fn main() {
+    if let Some(path) = trace_out() {
+        // Dedicated smoke mode: write the trace and exit, so CI's
+        // trace-check step doesn't pay for the full benchmark.
+        trace_smoke(&path);
+        return;
+    }
     let quick = quick_mode();
     let sizes: &[usize] = if quick {
         &[100 << 10, 10 << 20]

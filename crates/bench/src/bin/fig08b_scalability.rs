@@ -15,7 +15,7 @@
 //! capacity (the host-core ceiling of submission + scheduling + lineage +
 //! completion).
 
-use ray_bench::{fmt_rate, quick_mode, Report};
+use ray_bench::{fmt_rate, quick_mode, trace_out, Report};
 use ray_common::config::GcsConfig;
 use ray_common::{NodeId, RayConfig};
 use rustray::task::{Arg, TaskOptions};
@@ -23,17 +23,27 @@ use rustray::Cluster;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::{Duration, Instant};
 
-fn build_cluster(nodes: usize, workers_per_node: usize) -> Cluster {
-    let mut cfg =
-        RayConfig::builder().nodes(nodes).workers_per_node(workers_per_node).seed(1).build();
+fn build_cluster(nodes: usize, workers_per_node: usize, traced: bool) -> Cluster {
+    let mut cfg = RayConfig::builder()
+        .nodes(nodes)
+        .workers_per_node(workers_per_node)
+        .seed(1)
+        .tracing(traced)
+        .build();
     cfg.gcs = GcsConfig { num_shards: 8, chain_length: 1, ..GcsConfig::default() };
     Cluster::start(cfg).expect("start cluster")
 }
 
 /// One driver per node submitting tasks for `window`; returns completed
-/// tasks/second. `task_ms == 0` means empty tasks.
-fn throughput(nodes: usize, task_ms: u64, window: Duration) -> f64 {
-    let cluster = build_cluster(nodes, 2);
+/// tasks/second. `task_ms == 0` means empty tasks. When `trace` is set the
+/// run is traced and the timeline lands there as Chrome JSON.
+fn throughput(
+    nodes: usize,
+    task_ms: u64,
+    window: Duration,
+    trace: Option<&std::path::Path>,
+) -> f64 {
+    let cluster = build_cluster(nodes, 2, trace.is_some());
     cluster.register_fn1("work", |ms: u64| {
         if ms > 0 {
             std::thread::sleep(Duration::from_millis(ms));
@@ -75,6 +85,10 @@ fn throughput(nodes: usize, task_ms: u64, window: Duration) -> f64 {
     });
     let elapsed = start.elapsed();
     let executed = cluster.metrics().counter("tasks_executed").get() - executed_before;
+    if let Some(path) = trace {
+        cluster.write_chrome_trace(path).expect("write chrome trace");
+        println!("trace written to {}", path.display());
+    }
     cluster.shutdown();
     executed as f64 / elapsed.as_secs_f64()
 }
@@ -92,7 +106,7 @@ fn main() {
     );
     let mut base = None;
     for &n in node_counts {
-        let rate = throughput(n, task_ms, window);
+        let rate = throughput(n, task_ms, window, None);
         let b = *base.get_or_insert(rate);
         // 2 workers per node, each can run 1000/task_ms tasks/s.
         let capacity = (n * 2) as f64 * (1000.0 / task_ms as f64);
@@ -115,9 +129,15 @@ fn main() {
         &["nodes", "empty tasks/s"],
     );
     for &n in if quick { &[1usize, 4][..] } else { &[1usize, 4, 8][..] } {
-        let rate = throughput(n, 0, window);
+        let rate = throughput(n, 0, window, None);
         extra.row(&[n.to_string(), fmt_rate(rate)]);
     }
     extra.note("every task pays full lineage writes to the sharded GCS");
     extra.finish();
+
+    // `--trace-out`: one extra short traced run whose timeline is exported
+    // as Chrome trace_event JSON.
+    if let Some(path) = trace_out() {
+        let _ = throughput(2, task_ms, Duration::from_millis(500), Some(&path));
+    }
 }

@@ -21,6 +21,22 @@ pub fn quick_mode() -> bool {
         || std::env::var("RAY_BENCH_QUICK").map(|v| v == "1").unwrap_or(false)
 }
 
+/// Destination for a Chrome `trace_event` timeline, when the binary was
+/// invoked with `--trace-out <path>` (or `--trace-out=<path>`). Open the
+/// resulting file in `chrome://tracing` or <https://ui.perfetto.dev>.
+pub fn trace_out() -> Option<PathBuf> {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == "--trace-out" {
+            return args.next().map(PathBuf::from);
+        }
+        if let Some(p) = a.strip_prefix("--trace-out=") {
+            return Some(PathBuf::from(p));
+        }
+    }
+    None
+}
+
 /// A experiment report: a title, column headers, and rows of cells.
 pub struct Report {
     name: String,

@@ -212,6 +212,23 @@ impl Default for FaultConfig {
     }
 }
 
+/// Lifecycle-tracing parameters (see `ray_common::trace`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceConfig {
+    /// Whether lifecycle events are collected at all. Off by default:
+    /// disabled tracing is one relaxed atomic load per would-be event.
+    pub enabled: bool,
+    /// Per-node ring-buffer capacity in events; oldest events are dropped
+    /// (and counted) on overflow between flushes.
+    pub ring_capacity: usize,
+}
+
+impl Default for TraceConfig {
+    fn default() -> Self {
+        TraceConfig { enabled: false, ring_capacity: 65_536 }
+    }
+}
+
 /// Top-level configuration for one simulated cluster.
 ///
 /// # Examples
@@ -240,6 +257,8 @@ pub struct RayConfig {
     pub object_store: ObjectStoreConfig,
     /// Fault-tolerance behaviour.
     pub fault: FaultConfig,
+    /// Lifecycle tracing.
+    pub trace: TraceConfig,
     /// Seed for deterministic components (workload generators, policies).
     pub seed: u64,
 }
@@ -295,6 +314,9 @@ impl RayConfig {
         if !(0.0..=1.0).contains(&chaos.delay_probability) {
             return Err("transport.chaos.delay_probability must be in [0, 1]".into());
         }
+        if self.trace.enabled && self.trace.ring_capacity == 0 {
+            return Err("trace.ring_capacity must be >= 1 when tracing is enabled".into());
+        }
         if self.fault.detector_enabled
             && self.fault.heartbeat_timeout < self.scheduler.heartbeat_interval * 2
         {
@@ -325,6 +347,7 @@ impl Default for RayConfigBuilder {
                 scheduler: SchedulerConfig::default(),
                 object_store: ObjectStoreConfig::default(),
                 fault: FaultConfig::default(),
+                trace: TraceConfig::default(),
                 seed: 0,
             },
             explicit_resources: false,
@@ -390,6 +413,19 @@ impl RayConfigBuilder {
     /// Sets fault-tolerance behaviour.
     pub fn fault(mut self, f: FaultConfig) -> Self {
         self.cfg.fault = f;
+        self
+    }
+
+    /// Enables or disables lifecycle tracing, keeping other trace
+    /// defaults.
+    pub fn tracing(mut self, enabled: bool) -> Self {
+        self.cfg.trace.enabled = enabled;
+        self
+    }
+
+    /// Sets the full tracing configuration.
+    pub fn trace(mut self, t: TraceConfig) -> Self {
+        self.cfg.trace = t;
         self
     }
 

@@ -16,6 +16,9 @@
 //!   [`sync::OrderedRwLock`]) enforcing the workspace-wide lock order, with
 //!   a runtime acquisition-order graph and deadlock (cycle) detection in
 //!   debug builds.
+//! - [`trace`]: the task-lifecycle event log (per-node ring buffers, the
+//!   deterministic `TraceAssert` query API, and the Chrome `trace_event`
+//!   exporter) backing the paper's §4.1 replay/debugging story.
 //! - [`util`]: small helpers (FNV hashing, EWMA estimators) shared across
 //!   the system layer.
 
@@ -25,6 +28,7 @@ pub mod id;
 pub mod metrics;
 pub mod resources;
 pub mod sync;
+pub mod trace;
 pub mod util;
 
 pub use config::RayConfig;

@@ -1,9 +1,13 @@
-//! Lightweight metrics: named atomic counters and gauges.
+//! Lightweight metrics: named atomic counters, gauges, and histograms.
 //!
 //! The benchmarks that regenerate the paper's figures need cheap, contention-
 //! tolerant counters (tasks executed, bytes moved, spillovers, replays).
 //! A [`MetricsRegistry`] is shared across a cluster's components; counters
-//! are created once and then updated lock-free.
+//! are created once and then updated lock-free. [`Histogram`]s add
+//! bucketed latency/size distributions (task latency, queue wait,
+//! transfer bytes, reconstruction attempts), and
+//! [`MetricsRegistry::render`] produces a Prometheus-style text
+//! exposition of everything.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
@@ -53,7 +57,74 @@ impl Gauge {
     }
 }
 
-/// A registry of named counters and gauges shared by one cluster.
+/// Default histogram bucket upper bounds: a 1-2-5 ladder in "micros or
+/// bytes" units, wide enough for task latencies and transfer sizes alike.
+/// An implicit `+Inf` bucket always follows the last bound.
+pub const DEFAULT_BUCKETS: &[u64] = &[
+    100, 250, 500, 1_000, 2_500, 5_000, 10_000, 25_000, 50_000, 100_000, 250_000, 500_000,
+    1_000_000, 2_500_000, 5_000_000,
+];
+
+/// A fixed-bucket histogram with lock-free observation.
+///
+/// Buckets are *non-cumulative* internally; [`Histogram::snapshot`] and
+/// [`MetricsRegistry::render`] expose the cumulative (`le`) form
+/// Prometheus expects.
+#[derive(Debug)]
+pub struct Histogram {
+    /// Upper bounds (inclusive) of each bucket; `buckets` has one extra
+    /// slot for `+Inf`.
+    bounds: Vec<u64>,
+    buckets: Vec<AtomicU64>,
+    sum: AtomicU64,
+    count: AtomicU64,
+}
+
+impl Histogram {
+    fn with_bounds(bounds: &[u64]) -> Histogram {
+        debug_assert!(bounds.windows(2).all(|w| w[0] < w[1]), "bounds must ascend");
+        Histogram {
+            bounds: bounds.to_vec(),
+            buckets: (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect(),
+            sum: AtomicU64::new(0),
+            count: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one observation.
+    pub fn observe(&self, value: u64) {
+        let idx = self.bounds.partition_point(|&b| b < value);
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all observed values.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Cumulative bucket counts as `(upper_bound, count ≤ bound)` pairs;
+    /// the final pair is `(u64::MAX, total)` standing in for `+Inf`.
+    pub fn snapshot(&self) -> Vec<(u64, u64)> {
+        let mut cum = 0;
+        let mut out = Vec::with_capacity(self.buckets.len());
+        for (i, b) in self.buckets.iter().enumerate() {
+            cum += b.load(Ordering::Relaxed);
+            let bound = self.bounds.get(i).copied().unwrap_or(u64::MAX);
+            out.push((bound, cum));
+        }
+        out
+    }
+}
+
+/// A registry of named counters, gauges, and histograms shared by one
+/// cluster.
 ///
 /// # Examples
 ///
@@ -73,6 +144,7 @@ pub struct MetricsRegistry {
 struct Inner {
     counters: OrderedRwLock<HashMap<String, Arc<Counter>>>,
     gauges: OrderedRwLock<HashMap<String, Arc<Gauge>>>,
+    histograms: OrderedRwLock<HashMap<String, Arc<Histogram>>>,
 }
 
 impl Default for Inner {
@@ -80,6 +152,7 @@ impl Default for Inner {
         Inner {
             counters: OrderedRwLock::new(&classes::METRICS_COUNTERS, HashMap::new()),
             gauges: OrderedRwLock::new(&classes::METRICS_GAUGES, HashMap::new()),
+            histograms: OrderedRwLock::new(&classes::METRICS_HISTOGRAMS, HashMap::new()),
         }
     }
 }
@@ -114,6 +187,61 @@ impl MetricsRegistry {
             .entry(name.to_string())
             .or_insert_with(|| Arc::new(Gauge::default()))
             .clone()
+    }
+
+    /// Returns the histogram with the given name (default 1-2-5 buckets,
+    /// [`DEFAULT_BUCKETS`]), creating it if needed.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        self.histogram_with(name, DEFAULT_BUCKETS)
+    }
+
+    /// Returns the histogram with the given name, creating it with
+    /// `bounds` if needed. An existing histogram keeps its original
+    /// bounds — first creation wins, like counters keep their counts.
+    pub fn histogram_with(&self, name: &str, bounds: &[u64]) -> Arc<Histogram> {
+        if let Some(h) = self.inner.histograms.read().get(name) {
+            return h.clone();
+        }
+        self.inner
+            .histograms
+            .write()
+            .entry(name.to_string())
+            .or_insert_with(|| Arc::new(Histogram::with_bounds(bounds)))
+            .clone()
+    }
+
+    /// Renders every counter, gauge, and histogram as Prometheus-style
+    /// text exposition (the "text endpoint/dump" a scraper or test reads).
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for (name, v) in self.counter_snapshot() {
+            let _ = writeln!(out, "# TYPE {name} counter");
+            let _ = writeln!(out, "{name} {v}");
+        }
+        for (name, v) in self.gauge_snapshot() {
+            let _ = writeln!(out, "# TYPE {name} gauge");
+            let _ = writeln!(out, "{name} {v}");
+        }
+        let hists: Vec<(String, Arc<Histogram>)> = {
+            let map = self.inner.histograms.read();
+            let mut v: Vec<_> = map.iter().map(|(k, h)| (k.clone(), h.clone())).collect();
+            v.sort_by(|a, b| a.0.cmp(&b.0));
+            v
+        };
+        for (name, h) in hists {
+            let _ = writeln!(out, "# TYPE {name} histogram");
+            for (bound, cum) in h.snapshot() {
+                if bound == u64::MAX {
+                    let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {cum}");
+                } else {
+                    let _ = writeln!(out, "{name}_bucket{{le=\"{bound}\"}} {cum}");
+                }
+            }
+            let _ = writeln!(out, "{name}_sum {}", h.sum());
+            let _ = writeln!(out, "{name}_count {}", h.count());
+        }
+        out
     }
 
     /// Snapshot of all counters, sorted by name (for reports and tests).
@@ -182,6 +310,17 @@ pub mod names {
     /// Lock holds that exceeded the configured long-hold threshold
     /// (debug builds only; see `ray_common::sync`).
     pub const LOCK_LONG_HOLDS: &str = "lock_long_holds";
+    /// Histogram: end-to-end task execution latency in microseconds
+    /// (worker dequeue → results stored).
+    pub const TASK_LATENCY_MICROS: &str = "task_latency_micros";
+    /// Histogram: time a task sat in a local scheduler's ready queue
+    /// before dispatch, in microseconds.
+    pub const QUEUE_WAIT_MICROS: &str = "queue_wait_micros";
+    /// Histogram: per-transfer payload size in bytes.
+    pub const TRANSFER_BYTES: &str = "transfer_bytes";
+    /// Histogram: lineage resubmission attempt number per claimed
+    /// reconstruction (1 = first attempt).
+    pub const RECONSTRUCTION_ATTEMPTS: &str = "reconstruction_attempts";
 }
 
 #[cfg(test)]
@@ -227,6 +366,39 @@ mod tests {
             t.join().unwrap();
         }
         assert_eq!(m.counter("hot").get(), 80_000);
+    }
+
+    #[test]
+    fn histogram_buckets_and_render() {
+        let m = MetricsRegistry::new();
+        let h = m.histogram_with("task_latency_micros", &[10, 100, 1000]);
+        h.observe(5); // ≤ 10
+        h.observe(10); // ≤ 10 (inclusive bound)
+        h.observe(50); // ≤ 100
+        h.observe(5000); // +Inf
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.sum(), 5065);
+        assert_eq!(h.snapshot(), vec![(10, 2), (100, 3), (1000, 3), (u64::MAX, 4)]);
+
+        m.counter("tasks_executed").add(7);
+        m.gauge("resident").set(-3);
+        let text = m.render();
+        assert!(text.contains("tasks_executed 7"));
+        assert!(text.contains("resident -3"));
+        assert!(text.contains("task_latency_micros_bucket{le=\"10\"} 2"));
+        assert!(text.contains("task_latency_micros_bucket{le=\"+Inf\"} 4"));
+        assert!(text.contains("task_latency_micros_sum 5065"));
+        assert!(text.contains("task_latency_micros_count 4"));
+    }
+
+    #[test]
+    fn histogram_is_shared_by_name_and_keeps_first_bounds() {
+        let m = MetricsRegistry::new();
+        m.histogram_with("h", &[1, 2]).observe(1);
+        // A second caller with different bounds gets the same histogram.
+        m.histogram_with("h", &[100]).observe(2);
+        assert_eq!(m.histogram("h").count(), 2);
+        assert_eq!(m.histogram("h").snapshot().len(), 3); // [1, 2, +Inf]
     }
 
     #[test]

@@ -197,6 +197,13 @@ pub mod classes {
     pub static METRICS_COUNTERS: LockClass = LockClass::new("metrics.counters", 1000);
     /// Gauge map of a [`crate::metrics::MetricsRegistry`].
     pub static METRICS_GAUGES: LockClass = LockClass::new("metrics.gauges", 1010);
+    /// Histogram map of a [`crate::metrics::MetricsRegistry`].
+    pub static METRICS_HISTOGRAMS: LockClass = LockClass::new("metrics.histograms", 1015);
+    /// The trace collector's node → ring table (grown lazily).
+    pub static TRACE_RINGS: LockClass = LockClass::new("trace.rings", 1020);
+    /// One node's trace ring buffer (innermost: emission can happen under
+    /// any subsystem lock, like metrics bumps).
+    pub static TRACE_RING: LockClass = LockClass::new("trace.ring", 1030);
 }
 
 // ---------------------------------------------------------------------------
@@ -236,15 +243,17 @@ mod order {
     static LONG_HOLD_MICROS: AtomicU64 = AtomicU64::new(250_000);
     static LONG_HOLD_COUNT: AtomicU64 = AtomicU64::new(0);
 
-    /// Optional metrics sink for long-hold events.
-    static METRICS_SINK: Mutex<Option<MetricsRegistry>> = Mutex::new(None);
-
     thread_local! {
         /// The classes this thread currently holds, in acquisition order.
         static HELD: RefCell<Vec<&'static LockClass>> = const { RefCell::new(Vec::new()) };
         /// Re-entrancy guard: long-hold reporting touches the metrics
         /// registry, whose own locks must not re-report.
         static REPORTING: Cell<bool> = const { Cell::new(false) };
+        /// Per-thread metrics sink for long-hold events. Thread-scoped on
+        /// purpose: two `Cluster`s in one process (parallel `cargo test`)
+        /// must not feed each other's registries, so each cluster installs
+        /// its registry on the threads it owns instead of process-wide.
+        static METRICS_SINK: RefCell<Option<MetricsRegistry>> = const { RefCell::new(None) };
     }
 
     /// Assigns (once) and returns the dense 1-based id of `class`.
@@ -345,7 +354,9 @@ mod order {
         if !entered {
             return;
         }
-        let sink = METRICS_SINK.lock().unwrap().clone();
+        let sink = METRICS_SINK
+            .try_with(|s| s.borrow().clone())
+            .unwrap_or_default();
         if let Some(m) = sink {
             m.counter(names::LOCK_LONG_HOLDS).inc();
         }
@@ -437,7 +448,7 @@ mod order {
     }
 
     pub(super) fn install_long_hold_metrics(m: MetricsRegistry) {
-        *METRICS_SINK.lock().unwrap() = Some(m);
+        let _ = METRICS_SINK.try_with(|s| *s.borrow_mut() = Some(m));
     }
 }
 
@@ -533,10 +544,13 @@ pub fn long_hold_count() -> u64 {
     }
 }
 
-/// Routes long-hold events to `m` as
+/// Routes long-hold events on the **calling thread** to `m` as
 /// [`crate::metrics::names::LOCK_LONG_HOLDS`] increments (debug builds).
-/// Typically called once per cluster at startup; a later install replaces
-/// the sink.
+/// The sink is thread-scoped: a cluster installs its registry on every
+/// thread it owns (schedulers, workers, actor hosts) plus the thread that
+/// called `Cluster::start`, so two clusters in one process — parallel
+/// `cargo test`, notably — cannot contaminate each other's counters. A
+/// later install on the same thread replaces that thread's sink.
 pub fn install_long_hold_metrics(m: crate::metrics::MetricsRegistry) {
     #[cfg(debug_assertions)]
     order::install_long_hold_metrics(m);
@@ -920,6 +934,40 @@ mod tests {
         }
         assert!(long_hold_count() > before);
         set_long_hold_threshold(Duration::from_millis(250));
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    fn long_hold_sink_is_scoped_per_thread() {
+        use crate::metrics::{names, MetricsRegistry};
+        static T_SCOPE: LockClass = LockClass::new("test.sink_scope", 10_040);
+        // Two "clusters" on two threads, each with its own registry: a
+        // long hold on one thread must only land in that thread's sink.
+        // Holds are longer than the default 250ms threshold so this test
+        // never touches the (process-global) threshold knob and cannot
+        // race sibling tests that do.
+        let spawn_cluster_thread = |hold: bool| {
+            std::thread::spawn(move || {
+                let reg = MetricsRegistry::new();
+                install_long_hold_metrics(reg.clone());
+                let m = OrderedMutex::new(&T_SCOPE, ());
+                {
+                    let _g = m.lock();
+                    if hold {
+                        std::thread::sleep(Duration::from_millis(300));
+                    }
+                }
+                reg.counter(names::LOCK_LONG_HOLDS).get()
+            })
+        };
+        let holder = spawn_cluster_thread(true);
+        let bystander = spawn_cluster_thread(false);
+        // The holding thread's registry saw its long hold; the bystander
+        // cluster's registry saw nothing — a process-global sink (the old
+        // behaviour) could route the holder's event into whichever
+        // registry installed last.
+        assert!(holder.join().unwrap() >= 1);
+        assert_eq!(bystander.join().unwrap(), 0);
     }
 
     #[test]

@@ -28,6 +28,7 @@ use crossbeam_channel::{unbounded, Receiver, Sender};
 use ray_common::sync::{classes, OrderedMutex};
 
 use ray_common::metrics::names;
+use ray_common::trace::{TraceEntity, TraceEventKind};
 use ray_common::{ActorId, NodeId, ObjectId, RayError, RayResult};
 use ray_gcs::tables::{ActorRecord, ActorState, CheckpointRecord};
 use ray_scheduler::TaskDescriptor;
@@ -223,7 +224,19 @@ impl ActorHost {
             let _ = self.shared.gcs_client.log_actor_method(self.actor, seq, spec.task);
         } else {
             self.shared.metrics.counter(names::METHODS_REPLAYED).inc();
+            self.shared.trace.emit(
+                self.node,
+                TraceEventKind::MethodReplayed,
+                TraceEntity::Actor(self.actor),
+                format!("seq={seq}"),
+            );
         }
+        self.shared.trace.emit(
+            self.node,
+            TraceEventKind::Running,
+            TraceEntity::Task(spec.task),
+            format!("actor={} method={method}", self.actor),
+        );
 
         let outputs = match resolve_args(&self.shared, self.node, None, spec) {
             Ok(args) => {
@@ -266,6 +279,12 @@ impl ActorHost {
                 .collect(),
         };
         let _ = self.store_outputs(spec, outputs, replay);
+        self.shared.trace.emit(
+            self.node,
+            TraceEventKind::Finished,
+            TraceEntity::Task(spec.task),
+            "",
+        );
         if read_only {
             return;
         }
@@ -292,6 +311,12 @@ impl ActorHost {
             let rec = CheckpointRecord { seq: self.seq, data: ray_codec::Blob(data) };
             if self.shared.gcs_client.put_checkpoint(self.actor, &rec).is_ok() {
                 self.shared.metrics.counter(names::CHECKPOINTS_TAKEN).inc();
+                self.shared.trace.emit(
+                    self.node,
+                    TraceEventKind::CheckpointTaken,
+                    TraceEntity::Actor(self.actor),
+                    format!("seq={}", self.seq),
+                );
             }
         }
     }
@@ -363,9 +388,13 @@ fn start_host(
 ) {
     let (tx, rx) = unbounded();
     let host = ActorHost { shared: shared.clone(), actor, node, instance, seq };
+    let metrics = shared.metrics.clone();
     std::thread::Builder::new()
         .name(format!("actor-{actor}"))
-        .spawn(move || host.run(rx))
+        .spawn(move || {
+            ray_common::sync::install_long_hold_metrics(metrics);
+            host.run(rx)
+        })
         .expect("spawn actor host");
     shared.actors.activate(actor, tx, node);
 }
@@ -380,6 +409,7 @@ pub(crate) fn rebuild_actor(shared: &Arc<RuntimeShared>, actor: ActorId) -> RayR
     std::thread::Builder::new()
         .name(format!("actor-recovery-{actor}"))
         .spawn(move || {
+            ray_common::sync::install_long_hold_metrics(shared.metrics.clone());
             if let Err(e) = rebuild_actor_blocking(&shared, actor) {
                 // Unrecoverable (e.g. record lost): the actor is dead;
                 // pending calls will surface ActorDied.
@@ -442,6 +472,12 @@ fn rebuild_actor_blocking(shared: &Arc<RuntimeShared>, actor: ActorId) -> RayRes
     if let Some(ck) = shared.gcs_client.get_checkpoint(actor)? {
         if instance.restore(&ck.data.0).is_ok() {
             start_seq = ck.seq;
+            shared.trace.emit(
+                node,
+                TraceEventKind::CheckpointRestored,
+                TraceEntity::Actor(actor),
+                format!("seq={}", ck.seq),
+            );
         }
     }
 
@@ -470,6 +506,12 @@ fn rebuild_actor_blocking(shared: &Arc<RuntimeShared>, actor: ActorId) -> RayRes
     record.state = ActorState::Alive;
     record.methods_invoked = seq;
     shared.gcs_client.put_actor(&record)?;
+    shared.trace.emit(
+        node,
+        TraceEventKind::ActorRebuilt,
+        TraceEntity::Actor(actor),
+        format!("replayed={}", seq - start_seq),
+    );
     let ActorHost { instance, seq, .. } = host;
     start_host(shared, node, actor, instance, seq);
     Ok(())

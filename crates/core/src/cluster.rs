@@ -15,6 +15,7 @@ use crossbeam_channel::unbounded;
 use ray_common::sync::{classes, OrderedMutex, OrderedRwLock};
 
 use ray_common::metrics::MetricsRegistry;
+use ray_common::trace::{render_chrome_trace, TraceCollector, TraceLog};
 use ray_common::{NodeId, RayConfig, RayError, RayResult};
 use ray_gcs::Gcs;
 use ray_object_store::store::LocalObjectStore;
@@ -62,7 +63,14 @@ impl Cluster {
         // Node-slot capacity leaves headroom for add_node/restart cycles.
         let capacity = config.num_nodes * 2 + 8;
 
+        let trace = if config.trace.enabled {
+            TraceCollector::new(config.trace.ring_capacity)
+        } else {
+            TraceCollector::disabled()
+        };
+
         let fabric = Fabric::new_with_metrics(capacity, &config.transport, metrics.clone());
+        fabric.set_tracer(trace.clone());
         let gcs = Gcs::start_with_metrics(&config.gcs, metrics.clone())?;
         let gcs_client = gcs.client();
         let directory = StoreDirectory::new();
@@ -72,7 +80,8 @@ impl Cluster {
             gcs_client.clone(),
             config.transport.connections_per_transfer,
             metrics.clone(),
-        );
+        )
+        .with_tracer(trace.clone());
         let load = Arc::new(LoadTable::new(config.scheduler.ewma_alpha));
         let global = GlobalScheduler::new(
             config.scheduler.policy,
@@ -86,6 +95,7 @@ impl Cluster {
         let shared = Arc::new(RuntimeShared {
             config: config.clone(),
             metrics,
+            trace,
             fabric,
             gcs,
             gcs_client,
@@ -352,6 +362,49 @@ impl Cluster {
     /// Tasks currently queued or executing somewhere in the cluster.
     pub fn inflight_tasks(&self) -> usize {
         self.shared.inflight.len()
+    }
+
+    /// The lifecycle trace collector (disabled unless
+    /// `config.trace.enabled`).
+    pub fn trace(&self) -> &TraceCollector {
+        &self.shared.trace
+    }
+
+    /// Drains every node's trace ring into the GCS event log as one final
+    /// batch. Node schedulers flush their own rings on each heartbeat
+    /// tick; this picks up whatever is still buffered (including events
+    /// from nodes that died with a non-empty ring).
+    pub fn flush_traces(&self) -> RayResult<()> {
+        if !self.shared.trace.is_enabled() {
+            return Ok(());
+        }
+        let events = self.shared.trace.drain_all();
+        if events.is_empty() {
+            return Ok(());
+        }
+        let payload = ray_codec::encode(&events).map_err(RayError::from)?;
+        self.shared.gcs_client.log_trace_batch(bytes::Bytes::from(payload))
+    }
+
+    /// The complete, seq-ordered lifecycle event log: flushes outstanding
+    /// ring contents, then reads every batch back from the GCS.
+    pub fn trace_log(&self) -> RayResult<TraceLog> {
+        self.flush_traces()?;
+        let mut events = Vec::new();
+        for batch in self.shared.gcs_client.get_trace_batches()? {
+            let decoded: Vec<ray_common::trace::TraceEvent> =
+                ray_codec::decode(&batch).map_err(RayError::from)?;
+            events.extend(decoded);
+        }
+        Ok(TraceLog::from_events(events))
+    }
+
+    /// Writes the event log as Chrome `trace_event` JSON (load it at
+    /// `chrome://tracing` or `https://ui.perfetto.dev`).
+    pub fn write_chrome_trace(&self, path: &std::path::Path) -> RayResult<()> {
+        let log = self.trace_log()?;
+        std::fs::write(path, render_chrome_trace(&log))
+            .map_err(|e| RayError::Invalid(format!("write {}: {e}", path.display())))
     }
 
     /// Last-published local-scheduler queue length for a node (0 for

@@ -21,6 +21,7 @@ use std::sync::atomic::Ordering;
 use std::sync::Arc;
 
 use ray_common::metrics::names;
+use ray_common::trace::{TraceEntity, TraceEventKind};
 use ray_common::NodeId;
 
 use crate::actor;
@@ -44,6 +45,12 @@ pub(crate) fn run_detector_pass(shared: &Arc<RuntimeShared>) {
             continue;
         }
         shared.metrics.counter(names::HEARTBEATS_MISSED).inc();
+        shared.trace.emit(
+            load.node,
+            TraceEventKind::HeartbeatMissed,
+            TraceEntity::Node(load.node),
+            format!("age_ms={}", age.as_millis()),
+        );
         if age >= declare_after {
             shared.metrics.counter(names::NODES_DECLARED_DEAD).inc();
             declare_node_dead(shared, load.node);
@@ -71,6 +78,7 @@ pub(crate) fn declare_node_dead(shared: &Arc<RuntimeShared>, node: NodeId) {
     if handle.is_none() && shared.directory.get(node).is_none() {
         return; // Never started, or already fully cleaned up.
     }
+    shared.trace.emit(node, TraceEventKind::NodeDeclaredDead, TraceEntity::Node(node), "");
     if let Some(h) = &handle {
         h.alive.store(false, Ordering::SeqCst);
         // Fencing: the scheduler loop exits; its workers drain and stop.

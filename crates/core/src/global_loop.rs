@@ -9,10 +9,11 @@
 
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use crossbeam_channel::{Receiver, RecvTimeoutError};
 
+use ray_common::trace::{TraceEntity, TraceEventKind};
 use ray_common::NodeId;
 use ray_scheduler::TaskDescriptor;
 
@@ -36,19 +37,22 @@ pub(crate) fn start_global(
 }
 
 fn global_loop(shared: Arc<RuntimeShared>, rx: Receiver<GlobalMsg>) {
+    ray_common::sync::install_long_hold_metrics(shared.metrics.clone());
+    let clock = shared.trace.clock().clone();
     let mut pending: Vec<(TaskSpec, NodeId)> = Vec::new();
     // With injected decision latency (Fig. 12b), decisions run on spawned
     // threads so concurrent tasks each pay the latency without serializing
     // behind one scheduler thread — the paper's global scheduler is
     // replicated ("we can instantiate more replicas").
     let delayed = !shared.config.scheduler.added_decision_delay.is_zero();
-    let mut last_detect = Instant::now();
+    let mut last_detect = clock.now();
     loop {
         match rx.recv_timeout(RETRY_EVERY) {
             Ok(GlobalMsg::Forward(spec, from)) => {
                 if delayed {
                     let shared = shared.clone();
                     std::thread::spawn(move || {
+                        ray_common::sync::install_long_hold_metrics(shared.metrics.clone());
                         let mut item = Some((spec, from));
                         while let Some((spec, from)) = item.take() {
                             item = try_place(&shared, spec, from);
@@ -74,9 +78,9 @@ fn global_loop(shared: Arc<RuntimeShared>, rx: Receiver<GlobalMsg>) {
         }
         // The failure detector rides this thread: sweep heartbeat ages at
         // the retry cadence even when placements keep the loop busy.
-        if last_detect.elapsed() >= RETRY_EVERY {
+        if clock.now().duration_since(last_detect) >= RETRY_EVERY {
             failure::run_detector_pass(&shared);
-            last_detect = Instant::now();
+            last_detect = clock.now();
         }
     }
 }
@@ -97,6 +101,18 @@ fn try_place(
     };
     match shared.global.place(&desc) {
         Ok(Some(node)) => {
+            // Emit the placement decision *before* delivery: once the spec
+            // lands in the node's channel the task can run to completion
+            // concurrently, and its Running/Finished events must sequence
+            // after this one. A failed delivery leaves a stray GlobalPlaced
+            // for the retry to follow — harmless, the kind is volatile and
+            // ordering queries use first occurrence.
+            shared.trace.emit(
+                node,
+                TraceEventKind::GlobalPlaced,
+                TraceEntity::Task(spec.task),
+                format!("from={from}"),
+            );
             match shared.place_on(node, spec.clone()) {
                 Ok(()) => None,
                 Err(_) => {

@@ -15,10 +15,12 @@
 //! latest checkpoint.
 
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use bytes::Bytes;
 
+use ray_common::metrics::names;
+use ray_common::trace::{TraceEntity, TraceEventKind};
 use ray_common::{NodeId, ObjectId, RayError, RayResult, TaskId};
 
 use crate::actor;
@@ -50,14 +52,15 @@ pub(crate) fn ensure_object_at_deadline(
     node: NodeId,
     deadline: Duration,
 ) -> RayResult<Bytes> {
-    let overall = Instant::now() + deadline;
+    let clock = shared.trace.clock().clone();
+    let overall = clock.now() + deadline;
     // The producer task this call escalated against (if any); its
     // stalled-entry is cleared once the object materializes, so the
     // resubmission budget applies per stall episode, not per cluster
     // lifetime.
     let mut engaged: Option<TaskId> = None;
     loop {
-        let round = FETCH_ROUND.min(overall.saturating_duration_since(Instant::now()));
+        let round = FETCH_ROUND.min(overall.saturating_duration_since(clock.now()));
         if round.is_zero() {
             return Err(RayError::Timeout);
         }
@@ -106,7 +109,7 @@ enum Claim {
 /// and a producer that keeps dying must eventually surface as lost.
 fn claim_resubmission(shared: &Arc<RuntimeShared>, task: TaskId) -> Claim {
     let mut stalled = shared.stalled.lock();
-    let now = Instant::now();
+    let now = shared.trace.clock().now();
     let entry = stalled
         .entry(task)
         .or_insert(StalledEntry { attempts: 0, next_retry: now });
@@ -118,6 +121,10 @@ fn claim_resubmission(shared: &Arc<RuntimeShared>, task: TaskId) -> Claim {
     }
     entry.attempts += 1;
     entry.next_retry = now + FETCH_ROUND * 2u32.saturating_pow(entry.attempts.min(4));
+    shared
+        .metrics
+        .histogram_with(names::RECONSTRUCTION_ATTEMPTS, &[1, 2, 3, 4, 8, 16])
+        .observe(u64::from(entry.attempts));
     Claim::Go
 }
 
@@ -152,6 +159,12 @@ fn reconstruct(shared: &Arc<RuntimeShared>, id: ObjectId) -> RayResult<Option<Ta
                         .any_live_node(NodeId(0))
                         .ok_or(RayError::Shutdown("no live nodes".into()))?
                         .node;
+                    shared.trace.emit(
+                        from,
+                        TraceEventKind::Reconstructing,
+                        TraceEntity::Object(id),
+                        format!("task={task}"),
+                    );
                     shared.resubmit(from, spec)?;
                     Ok(Some(task))
                 }
@@ -197,6 +210,12 @@ fn maybe_reconstruct_stalled(shared: &Arc<RuntimeShared>, id: ObjectId) -> RayRe
                         .any_live_node(NodeId(0))
                         .ok_or(RayError::Shutdown("no live nodes".into()))?
                         .node;
+                    shared.trace.emit(
+                        from,
+                        TraceEventKind::Reconstructing,
+                        TraceEntity::Object(id),
+                        format!("task={task} stalled"),
+                    );
                     shared.resubmit(from, spec)?;
                     Ok(Some(task))
                 }

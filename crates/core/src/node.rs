@@ -15,6 +15,7 @@ use std::time::Instant;
 use crossbeam_channel::{unbounded, RecvTimeoutError};
 use ray_common::sync::{classes, OrderedMutex};
 
+use ray_common::metrics::names;
 use ray_common::NodeId;
 use ray_scheduler::{NodeLoad, ResourceLedger};
 use ray_object_store::store::LocalObjectStore;
@@ -48,7 +49,11 @@ fn node_capacity(shared: &RuntimeShared, node: NodeId) -> ray_common::Resources 
 /// directory, GCS client table, load table) and inserts the handle into
 /// `shared.nodes`.
 pub(crate) fn start_node(shared: &Arc<RuntimeShared>, node: NodeId) -> Arc<NodeHandle> {
-    let store = Arc::new(LocalObjectStore::new(node, &shared.config.object_store));
+    let store = Arc::new(LocalObjectStore::new_traced(
+        node,
+        &shared.config.object_store,
+        shared.trace.clone(),
+    ));
     let ledger = Arc::new(ResourceLedger::new(node_capacity(shared, node)));
     let alive = Arc::new(AtomicBool::new(true));
     let (tx, rx) = unbounded::<NodeMsg>();
@@ -139,6 +144,10 @@ fn scheduler_loop(
     ledger: Arc<ResourceLedger>,
     alive: Arc<AtomicBool>,
 ) {
+    // Metrics emitted from this thread (long-hold counters) land in this
+    // cluster's registry, not a sibling's (the sink is thread-scoped).
+    ray_common::sync::install_long_hold_metrics(shared.metrics.clone());
+    let clock = shared.trace.clock().clone();
     let base = shared.config.workers_per_node;
     let mut pool = Pool {
         workers: Vec::new(),
@@ -147,9 +156,13 @@ fn scheduler_loop(
         base,
         max: base * 8 + 4,
     };
-    let mut ready: VecDeque<TaskSpec> = VecDeque::new();
+    // Each queued task carries its enqueue time for the queue-wait
+    // histogram. The histogram handle is resolved once — the registry
+    // lookup takes a lock, and dispatch runs per task.
+    let queue_wait = shared.metrics.histogram(names::QUEUE_WAIT_MICROS);
+    let mut ready: VecDeque<(TaskSpec, Instant)> = VecDeque::new();
     let heartbeat_every = shared.config.scheduler.heartbeat_interval;
-    let mut last_heartbeat = Instant::now();
+    let mut last_heartbeat = clock.now();
 
     loop {
         let msg = rx.recv_timeout(heartbeat_every);
@@ -161,7 +174,7 @@ fn scheduler_loop(
                     // global scheduler rather than wedging the queue.
                     let _ = shared.global_tx.send(GlobalMsg::Forward(spec, node));
                 } else {
-                    ready.push_back(spec);
+                    ready.push_back((spec, clock.now()));
                 }
             }
             Ok(NodeMsg::WorkerDone { worker, demand, duration_ms }) => {
@@ -180,10 +193,10 @@ fn scheduler_loop(
             Err(RecvTimeoutError::Timeout) => {}
         }
 
-        dispatch(&shared, node, &tx, &ledger, &mut ready, &mut pool);
+        dispatch(&shared, node, &tx, &ledger, &mut ready, &mut pool, &queue_wait);
         shared.queue_lens[node.index()].store(ready.len(), Ordering::Relaxed);
 
-        if last_heartbeat.elapsed() >= heartbeat_every {
+        if clock.now().duration_since(last_heartbeat) >= heartbeat_every {
             // Heartbeats ride the fabric (paper §4.2.2: the monitor learns
             // liveness from heartbeats, not from the node's goodwill). A
             // dead node, a chaos-dropped message, or a partition that cuts
@@ -199,7 +212,11 @@ fn scheduler_loop(
                     alive: alive.load(Ordering::SeqCst),
                 });
             }
-            last_heartbeat = Instant::now();
+            // The node flushes its own trace ring alongside the heartbeat
+            // (per-node event batches ride the same cadence as the load
+            // publish; the GCS event log is the durable sink).
+            flush_trace_ring(&shared, node);
+            last_heartbeat = clock.now();
         }
         if !alive.load(Ordering::SeqCst) {
             break;
@@ -216,6 +233,25 @@ fn scheduler_loop(
             let _ = j.join();
         }
     }
+    // Final ring flush so an orderly shutdown loses no buffered events
+    // (abrupt deaths leave theirs for `Cluster::flush_traces`).
+    flush_trace_ring(&shared, node);
+}
+
+/// Drains this node's trace ring into the GCS event log as one batch.
+/// Best-effort: a GCS hiccup drops the batch rather than wedging the
+/// scheduler loop.
+fn flush_trace_ring(shared: &Arc<RuntimeShared>, node: NodeId) {
+    if !shared.trace.is_enabled() {
+        return;
+    }
+    let events = shared.trace.drain_node(node);
+    if events.is_empty() {
+        return;
+    }
+    if let Ok(payload) = ray_codec::encode(&events) {
+        let _ = shared.gcs_client.log_trace_batch(bytes::Bytes::from(payload));
+    }
 }
 
 fn dispatch(
@@ -223,14 +259,15 @@ fn dispatch(
     node: NodeId,
     tx: &crossbeam_channel::Sender<NodeMsg>,
     ledger: &Arc<ResourceLedger>,
-    ready: &mut VecDeque<TaskSpec>,
+    ready: &mut VecDeque<(TaskSpec, Instant)>,
     pool: &mut Pool,
+    queue_wait: &ray_common::metrics::Histogram,
 ) {
     loop {
         // Find the first task (within a bounded scan) whose resources are
         // available right now.
         let mut chosen: Option<usize> = None;
-        for (i, spec) in ready.iter().enumerate().take(DISPATCH_SCAN) {
+        for (i, (spec, _)) in ready.iter().enumerate().take(DISPATCH_SCAN) {
             if ledger.try_acquire(&spec.demand) {
                 chosen = Some(i);
                 break;
@@ -238,10 +275,12 @@ fn dispatch(
         }
         let Some(i) = chosen else { return };
         // Resources are held; now find a worker.
-        let spec = ready.remove(i).expect("index in range");
+        let (spec, enqueued) = ready.remove(i).expect("index in range");
         let demand = spec.demand.clone();
         match pool.pick(shared, node, tx) {
             Some(w) => {
+                let waited = shared.trace.clock().now().duration_since(enqueued);
+                queue_wait.observe(waited.as_micros() as u64);
                 if pool.workers[w].tx.send(WorkerMsg::Run(spec)).is_err() {
                     // Worker died (shutdown race); put resources back.
                     ledger.release(&demand);
@@ -252,7 +291,7 @@ fn dispatch(
                 // No worker available: release, requeue, wait for a
                 // completion message.
                 ledger.release(&demand);
-                ready.push_front(spec);
+                ready.push_front((spec, enqueued));
                 return;
             }
         }

@@ -21,12 +21,13 @@ use crossbeam_channel::Sender;
 use ray_common::sync::{classes, OrderedMutex, OrderedRwLock};
 
 use ray_common::metrics::{names, MetricsRegistry};
+use ray_common::trace::{TraceCollector, TraceEntity, TraceEventKind};
 use ray_common::{NodeId, ObjectId, RayConfig, RayError, RayResult, Resources, TaskId};
 use ray_gcs::tables::GcsClient;
 use ray_gcs::Gcs;
 use ray_object_store::store::LocalObjectStore;
 use ray_object_store::transfer::{StoreDirectory, TransferManager};
-use ray_scheduler::{decide_local, GlobalScheduler, LoadTable, LocalDecision, ResourceLedger};
+use ray_scheduler::{decide_local_reason, GlobalScheduler, LoadTable, LocalDecision, ResourceLedger};
 use ray_transport::Fabric;
 
 use crate::actor::ActorRouter;
@@ -140,6 +141,7 @@ pub(crate) struct StalledEntry {
 pub struct RuntimeShared {
     pub(crate) config: RayConfig,
     pub(crate) metrics: MetricsRegistry,
+    pub(crate) trace: TraceCollector,
     pub(crate) fabric: Fabric,
     pub(crate) gcs: Gcs,
     pub(crate) gcs_client: GcsClient,
@@ -211,6 +213,12 @@ impl RuntimeShared {
             "actor methods route through the actor router, not the scheduler"
         );
         self.metrics.counter(names::TASKS_SUBMITTED).inc();
+        self.trace.emit(
+            from,
+            TraceEventKind::Submitted,
+            TraceEntity::Task(spec.task),
+            spec.function_name.clone(),
+        );
         self.record_lineage(&spec)?;
         self.dispatch_for_scheduling(from, spec)
     }
@@ -219,6 +227,12 @@ impl RuntimeShared {
     /// already recorded; do not double-write it).
     pub(crate) fn resubmit(&self, from: NodeId, spec: TaskSpec) -> RayResult<()> {
         self.metrics.counter(names::TASKS_REEXECUTED).inc();
+        self.trace.emit(
+            from,
+            TraceEventKind::Resubmitted,
+            TraceEntity::Task(spec.task),
+            spec.function_name.clone(),
+        );
         self.dispatch_for_scheduling(from, spec)
     }
 
@@ -228,7 +242,7 @@ impl RuntimeShared {
         ))?;
         let node = handle.node;
         let queue_len = self.queue_lens[node.index()].load(Ordering::Relaxed);
-        let decision = decide_local(
+        let (decision, reason) = decide_local_reason(
             self.config.scheduler.policy,
             &handle.ledger,
             queue_len,
@@ -238,6 +252,12 @@ impl RuntimeShared {
         match decision {
             LocalDecision::KeepLocal => {
                 self.metrics.counter(names::TASKS_LOCAL).inc();
+                self.trace.emit(
+                    node,
+                    TraceEventKind::ScheduledLocal,
+                    TraceEntity::Task(spec.task),
+                    reason.label(),
+                );
                 self.inflight.insert(spec.task, node);
                 handle
                     .tx
@@ -246,6 +266,12 @@ impl RuntimeShared {
             }
             LocalDecision::Forward => {
                 self.metrics.counter(names::TASKS_SPILLED).inc();
+                self.trace.emit(
+                    node,
+                    TraceEventKind::SpilledGlobal,
+                    TraceEntity::Task(spec.task),
+                    reason.label(),
+                );
                 self.global_tx
                     .send(GlobalMsg::Forward(spec, node))
                     .map_err(|_| RayError::Shutdown("global scheduler stopped".into()))?;

@@ -10,12 +10,12 @@
 use std::panic::AssertUnwindSafe;
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Instant;
 
 use bytes::Bytes;
 use crossbeam_channel::{unbounded, Sender};
 
 use ray_common::metrics::names;
+use ray_common::trace::{TraceEntity, TraceEventKind};
 use ray_common::{NodeId, RayResult};
 
 use crate::actor;
@@ -50,19 +50,27 @@ impl WorkerHandle {
         let join = std::thread::Builder::new()
             .name(format!("worker-{node}-{index}"))
             .spawn(move || {
+                ray_common::sync::install_long_hold_metrics(shared.metrics.clone());
+                let clock = shared.trace.clock().clone();
+                // Resolved once: the registry lookup takes a lock, and this
+                // is the per-task hot loop.
+                let task_latency = shared.metrics.histogram(names::TASK_LATENCY_MICROS);
+                let tasks_executed = shared.metrics.counter(names::TASKS_EXECUTED);
                 while let Ok(msg) = rx.recv() {
                     match msg {
                         WorkerMsg::Run(spec) => {
-                            let start = Instant::now();
+                            let start = clock.now();
                             let demand = spec.demand.clone();
                             let task = spec.task;
                             execute_task(&shared, node, Some((node_tx.clone(), index)), &spec);
-                            shared.metrics.counter(names::TASKS_EXECUTED).inc();
+                            tasks_executed.inc();
                             shared.inflight.remove(task);
+                            let elapsed = clock.now().duration_since(start);
+                            task_latency.observe(elapsed.as_micros() as u64);
                             let done = NodeMsg::WorkerDone {
                                 worker: index,
                                 demand,
-                                duration_ms: start.elapsed().as_secs_f64() * 1e3,
+                                duration_ms: elapsed.as_secs_f64() * 1e3,
                             };
                             if node_tx.send(done).is_err() {
                                 return; // Node shut down mid-task.
@@ -142,14 +150,29 @@ pub(crate) fn execute_task(
                     outputs.len(),
                     spec.num_returns
                 );
+                shared.trace.emit(
+                    node,
+                    TraceEventKind::Failed,
+                    TraceEntity::Task(spec.task),
+                    msg.clone(),
+                );
                 (0..spec.num_returns).map(|_| encode_error_object(spec.task, &msg)).collect()
             } else {
+                shared.trace.emit(node, TraceEventKind::Finished, TraceEntity::Task(spec.task), "");
                 outputs.into_iter().map(Bytes::from).collect::<Vec<_>>()
             }
         }
-        Err(msg) => (0..spec.num_returns)
-            .map(|_| encode_error_object(spec.task, &msg))
-            .collect(),
+        Err(msg) => {
+            shared.trace.emit(
+                node,
+                TraceEventKind::Failed,
+                TraceEntity::Task(spec.task),
+                msg.clone(),
+            );
+            (0..spec.num_returns)
+                .map(|_| encode_error_object(spec.task, &msg))
+                .collect()
+        }
     };
     if let Err(e) = shared.store_results(node, spec, outputs) {
         // The node died under us; results are lost and will be
@@ -171,6 +194,8 @@ fn run_task_body(
                 .function(spec.function)
                 .map_err(|e| e.to_string())?;
             let args = resolve_args(shared, node, worker_slot, spec).map_err(|e| e.to_string())?;
+            shared.trace.emit(node, TraceEventKind::DepsFetched, TraceEntity::Task(spec.task), "");
+            shared.trace.emit(node, TraceEventKind::Running, TraceEntity::Task(spec.task), "");
             let ctx = RayContext::for_task(shared.clone(), node, spec.task, worker_slot.cloned());
             let result = std::panic::catch_unwind(AssertUnwindSafe(|| f(&ctx, &args)));
             match result {
@@ -182,6 +207,7 @@ fn run_task_body(
             // Spawn the stateful actor worker on this node; the creation
             // task's return object is the actor ID, so creation can be
             // awaited like any future.
+            shared.trace.emit(node, TraceEventKind::Running, TraceEntity::Task(spec.task), "");
             actor::spawn_actor_here(shared, node, *actor, spec).map_err(|e| e.to_string())?;
             let encoded = ray_codec::encode(actor).map_err(|e| e.to_string())?;
             Ok(vec![encoded])

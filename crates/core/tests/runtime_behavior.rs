@@ -652,6 +652,14 @@ fn metrics_count_submissions_and_executions() {
         (0..10).map(|_| ctx.call("nop", vec![]).unwrap()).collect();
     ctx.get_all(&futs).unwrap();
     assert!(cluster.metrics().counter("tasks_submitted").get() >= 10);
+    // Results become visible before the executing worker bumps the
+    // counter, so give the last increment a moment to land.
+    let t0 = std::time::Instant::now();
+    while cluster.metrics().counter("tasks_executed").get() < 10
+        && t0.elapsed() < Duration::from_secs(5)
+    {
+        std::thread::sleep(Duration::from_millis(5));
+    }
     assert!(cluster.metrics().counter("tasks_executed").get() >= 10);
     cluster.shutdown();
 }

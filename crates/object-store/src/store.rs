@@ -18,6 +18,7 @@ use crossbeam_channel::Sender;
 use ray_common::sync::{classes, OrderedCondvar, OrderedMutex};
 
 use ray_common::config::ObjectStoreConfig;
+use ray_common::trace::{TraceCollector, TraceEntity, TraceEventKind};
 use ray_common::{NodeId, ObjectId, RayError, RayResult};
 
 use crate::spill::SpillStore;
@@ -61,11 +62,22 @@ pub struct LocalObjectStore {
     spill: SpillStore,
     puts: AtomicU64,
     evictions: AtomicU64,
+    tracer: TraceCollector,
 }
 
 impl LocalObjectStore {
     /// Creates an empty store for `node`.
     pub fn new(node: NodeId, cfg: &ObjectStoreConfig) -> LocalObjectStore {
+        LocalObjectStore::new_traced(node, cfg, TraceCollector::disabled())
+    }
+
+    /// Like [`LocalObjectStore::new`], but emitting object lifecycle
+    /// events (put/spill/evict) into the cluster's trace collector.
+    pub fn new_traced(
+        node: NodeId,
+        cfg: &ObjectStoreConfig,
+        tracer: TraceCollector,
+    ) -> LocalObjectStore {
         LocalObjectStore {
             node,
             capacity: cfg.capacity_bytes,
@@ -81,6 +93,7 @@ impl LocalObjectStore {
             spill: SpillStore::in_memory(),
             puts: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
+            tracer,
         }
     }
 
@@ -177,6 +190,27 @@ impl LocalObjectStore {
             waiters = map.waiters.remove(&id);
         }
         self.puts.fetch_add(1, Ordering::Relaxed);
+        if self.tracer.is_enabled() {
+            for (victim, size) in &outcome.evicted {
+                let kind = if outcome.dropped.iter().any(|(d, _)| d == victim) {
+                    TraceEventKind::ObjectEvicted
+                } else {
+                    TraceEventKind::ObjectSpilled
+                };
+                self.tracer.emit(
+                    self.node,
+                    kind,
+                    TraceEntity::Object(*victim),
+                    format!("bytes={size}"),
+                );
+            }
+            self.tracer.emit(
+                self.node,
+                TraceEventKind::ObjectPut,
+                TraceEntity::Object(id),
+                format!("bytes={}", data.len()),
+            );
+        }
         if let Some(ws) = waiters {
             for w in ws {
                 let _ = w.send(data.clone());
@@ -212,7 +246,7 @@ impl LocalObjectStore {
 
     /// Blocks until the object is available locally or the timeout expires.
     pub fn wait_local(&self, id: ObjectId, timeout: std::time::Duration) -> RayResult<Bytes> {
-        let deadline = std::time::Instant::now() + timeout;
+        let deadline = self.tracer.clock().now() + timeout;
         let mut map = self.map.lock();
         loop {
             if let Some(slot) = map.objects.get(&id) {

@@ -9,12 +9,13 @@
 //! new location back in the GCS.
 
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use bytes::Bytes;
 use ray_common::sync::{classes, OrderedRwLock};
 
 use ray_common::metrics::{names, MetricsRegistry};
+use ray_common::trace::{TraceCollector, TraceEntity, TraceEventKind};
 use ray_common::util::Backoff;
 use ray_common::{NodeId, ObjectId, RayError, RayResult};
 use ray_gcs::tables::GcsClient;
@@ -82,6 +83,7 @@ pub struct TransferManager {
     gcs: GcsClient,
     connections: usize,
     metrics: MetricsRegistry,
+    tracer: TraceCollector,
 }
 
 impl TransferManager {
@@ -93,7 +95,21 @@ impl TransferManager {
         connections: usize,
         metrics: MetricsRegistry,
     ) -> TransferManager {
-        TransferManager { directory, fabric, gcs, connections, metrics }
+        TransferManager {
+            directory,
+            fabric,
+            gcs,
+            connections,
+            metrics,
+            tracer: TraceCollector::disabled(),
+        }
+    }
+
+    /// Attaches a trace collector: transfers and retries become
+    /// `object_transferred`/`transfer_retry` events.
+    pub fn with_tracer(mut self, tracer: TraceCollector) -> TransferManager {
+        self.tracer = tracer;
+        self
     }
 
     /// The store directory.
@@ -109,7 +125,8 @@ impl TransferManager {
     /// replica is gone (the caller escalates to lineage reconstruction) and
     /// [`RayError::Timeout`] when it never appeared.
     pub fn fetch(&self, id: ObjectId, to: NodeId, timeout: Duration) -> RayResult<Bytes> {
-        let deadline = Instant::now() + timeout;
+        let clock = self.tracer.clock().clone();
+        let deadline = clock.now() + timeout;
         let local = self
             .directory
             .get(to)
@@ -124,7 +141,7 @@ impl TransferManager {
             }
             let locations = self.gcs.get_object_locations(id)?;
             let mut knew_of_replicas = false;
-            let mut fetched: Option<Bytes> = None;
+            let mut fetched: Option<(NodeId, Bytes)> = None;
             for loc in &locations {
                 if loc.node == to {
                     // A stale self-location (we just checked the local
@@ -153,22 +170,29 @@ impl TransferManager {
                     continue;
                 }
                 let materialized = copy_payload(&data);
-                fetched = Some(materialized);
+                fetched = Some((loc.node, materialized));
                 break;
             }
 
-            if let Some(data) = fetched {
+            if let Some((src, data)) = fetched {
                 let size = data.len() as u64;
                 local.put_nocopy(id, data.clone())?;
                 self.gcs.add_object_location(id, to, size)?;
                 self.metrics.counter(names::BYTES_TRANSFERRED).add(size);
+                self.metrics.histogram(names::TRANSFER_BYTES).observe(size);
+                self.tracer.emit(
+                    to,
+                    TraceEventKind::ObjectTransferred,
+                    TraceEntity::Object(id),
+                    format!("from={src} bytes={size}"),
+                );
                 return Ok(data);
             }
 
             if knew_of_replicas {
                 // Locations existed but none were reachable/held the bytes:
                 // give failure detection a beat, then decide.
-                if Instant::now() >= deadline {
+                if clock.now() >= deadline {
                     return Err(RayError::ObjectLost(id));
                 }
                 std::thread::sleep(Duration::from_millis(1));
@@ -187,7 +211,7 @@ impl TransferManager {
             // No locations at all: the object has not been created yet.
             // Register a callback with the object table and wait (Fig. 7b
             // step 2).
-            let remaining = deadline.saturating_duration_since(Instant::now());
+            let remaining = deadline.saturating_duration_since(clock.now());
             if remaining.is_zero() {
                 return Err(RayError::Timeout);
             }
@@ -222,6 +246,12 @@ impl TransferManager {
                 Ok(_) => return Ok(()),
                 Err(RayError::MessageDropped) if backoff.attempt() < TRANSFER_RETRY_LIMIT => {
                     self.metrics.counter(names::TRANSFER_RETRIES).inc();
+                    self.tracer.emit(
+                        dst,
+                        TraceEventKind::TransferRetry,
+                        TraceEntity::Object(id),
+                        format!("from={src} attempt={}", backoff.attempt()),
+                    );
                     std::thread::sleep(backoff.next_delay());
                 }
                 Err(e) => return Err(e),

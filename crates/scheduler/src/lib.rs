@@ -33,4 +33,4 @@ pub mod local;
 pub use global::{GlobalScheduler, TaskDescriptor};
 pub use ledger::ResourceLedger;
 pub use load::{LoadTable, NodeLoad};
-pub use local::{decide_local, LocalDecision};
+pub use local::{decide_local, decide_local_reason, LocalDecision, LocalDecisionReason};

@@ -20,6 +20,34 @@ pub enum LocalDecision {
     Forward,
 }
 
+/// *Why* the local scheduler decided what it decided — recorded into the
+/// lifecycle trace so a timeline can distinguish policy-forced spills
+/// from genuine overload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LocalDecisionReason {
+    /// Bottom-up fast path: feasible and the queue is short.
+    LocalFastPath,
+    /// The policy routes every task through the global scheduler.
+    PolicyForwardsAll,
+    /// The node's capacity can never satisfy the demand (e.g. no GPU).
+    Infeasible,
+    /// The ready queue exceeded the spillover threshold (§4.2.2
+    /// "overloaded").
+    QueueOverThreshold,
+}
+
+impl LocalDecisionReason {
+    /// Short trace-detail label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            LocalDecisionReason::LocalFastPath => "local_fast_path",
+            LocalDecisionReason::PolicyForwardsAll => "policy_forwards_all",
+            LocalDecisionReason::Infeasible => "infeasible",
+            LocalDecisionReason::QueueOverThreshold => "queue_over_threshold",
+        }
+    }
+}
+
 /// Applies the bottom-up rule for a task submitted at a node.
 ///
 /// `queue_len` is the current local queue depth (tasks waiting for a
@@ -46,6 +74,18 @@ pub fn decide_local(
     spillover_threshold: usize,
     demand: &Resources,
 ) -> LocalDecision {
+    decide_local_reason(policy, ledger, queue_len, spillover_threshold, demand).0
+}
+
+/// [`decide_local`] plus the reason, for trace emission at the decision
+/// point.
+pub fn decide_local_reason(
+    policy: SchedulerPolicy,
+    ledger: &ResourceLedger,
+    queue_len: usize,
+    spillover_threshold: usize,
+    demand: &Resources,
+) -> (LocalDecision, LocalDecisionReason) {
     match policy {
         // Centralized baseline: every task goes through the global
         // scheduler, like Spark/CIEL (§6 "most existing cluster computing
@@ -54,16 +94,16 @@ pub fn decide_local(
         // routes everything through the global scheduler so the *only*
         // difference from Centralized is the missing locality term.
         SchedulerPolicy::Centralized | SchedulerPolicy::LocalityUnaware => {
-            LocalDecision::Forward
+            (LocalDecision::Forward, LocalDecisionReason::PolicyForwardsAll)
         }
         SchedulerPolicy::BottomUp | SchedulerPolicy::Random => {
             if !ledger.feasible(demand) {
-                return LocalDecision::Forward;
+                return (LocalDecision::Forward, LocalDecisionReason::Infeasible);
             }
             if queue_len > spillover_threshold {
-                return LocalDecision::Forward;
+                return (LocalDecision::Forward, LocalDecisionReason::QueueOverThreshold);
             }
-            LocalDecision::KeepLocal
+            (LocalDecision::KeepLocal, LocalDecisionReason::LocalFastPath)
         }
     }
 }
@@ -137,6 +177,29 @@ mod tests {
             decide_local(SchedulerPolicy::Random, &l, 99, 8, &Resources::cpus(1.0)),
             LocalDecision::Forward
         );
+    }
+
+    #[test]
+    fn reasons_match_decisions() {
+        let l = ledger();
+        let cpu = Resources::cpus(1.0);
+        assert_eq!(
+            decide_local_reason(SchedulerPolicy::BottomUp, &l, 0, 8, &cpu),
+            (LocalDecision::KeepLocal, LocalDecisionReason::LocalFastPath)
+        );
+        assert_eq!(
+            decide_local_reason(SchedulerPolicy::BottomUp, &l, 9, 8, &cpu),
+            (LocalDecision::Forward, LocalDecisionReason::QueueOverThreshold)
+        );
+        assert_eq!(
+            decide_local_reason(SchedulerPolicy::BottomUp, &l, 0, 8, &Resources::gpus(1.0)),
+            (LocalDecision::Forward, LocalDecisionReason::Infeasible)
+        );
+        assert_eq!(
+            decide_local_reason(SchedulerPolicy::Centralized, &l, 0, 8, &cpu),
+            (LocalDecision::Forward, LocalDecisionReason::PolicyForwardsAll)
+        );
+        assert_eq!(LocalDecisionReason::Infeasible.label(), "infeasible");
     }
 
     #[test]

@@ -2,12 +2,13 @@
 
 use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use std::time::Duration;
 
 use ray_common::config::{ChaosConfig, TransportConfig};
 use ray_common::metrics::{names, MetricsRegistry};
 use ray_common::sync::{classes, OrderedMutex, OrderedRwLock};
+use ray_common::trace::{TraceCollector, TraceEntity, TraceEventKind};
 use ray_common::util::DetRng;
 use ray_common::{NodeId, RayError, RayResult};
 
@@ -49,6 +50,9 @@ struct Inner {
     chaos_rng: OrderedMutex<DetRng>,
     dropped: AtomicU64,
     metrics: MetricsRegistry,
+    /// Set once at cluster assembly (after `Fabric::new`): chaos drops
+    /// become `message_dropped` trace events.
+    tracer: OnceLock<TraceCollector>,
 }
 
 impl Fabric {
@@ -77,8 +81,15 @@ impl Fabric {
                 chaos_rng: OrderedMutex::new(&classes::FABRIC_CHAOS_RNG, DetRng::new(cfg.chaos.seed)),
                 dropped: AtomicU64::new(0),
                 metrics,
+                tracer: OnceLock::new(),
             }),
         }
+    }
+
+    /// Attaches the cluster's trace collector; only the first call takes
+    /// effect (the fabric is assembled before the collector exists).
+    pub fn set_tracer(&self, tracer: TraceCollector) {
+        let _ = self.inner.tracer.set(tracer);
     }
 
     /// The link cost model in use.
@@ -151,8 +162,9 @@ impl Fabric {
         self.inner.dropped.load(Ordering::Relaxed)
     }
 
-    /// Rolls the chaos drop coin for one message; counts a drop.
-    fn chaos_drop(&self) -> bool {
+    /// Rolls the chaos drop coin for one message from `src`; counts (and
+    /// traces) a drop.
+    fn chaos_drop(&self, src: NodeId) -> bool {
         if self.inner.chaos.drop_probability <= 0.0 {
             return false;
         }
@@ -160,6 +172,9 @@ impl Fabric {
         if roll < self.inner.chaos.drop_probability {
             self.inner.dropped.fetch_add(1, Ordering::Relaxed);
             self.inner.metrics.counter(names::MESSAGES_DROPPED).inc();
+            if let Some(t) = self.inner.tracer.get() {
+                t.emit(src, TraceEventKind::MessageDropped, TraceEntity::Node(src), "");
+            }
             true
         } else {
             false
@@ -222,7 +237,7 @@ impl Fabric {
         if src == dst {
             return Ok(Duration::ZERO);
         }
-        if self.chaos_drop() {
+        if self.chaos_drop(src) {
             return Err(RayError::MessageDropped);
         }
         let lanes = self.link_lanes(src, dst);
@@ -245,7 +260,7 @@ impl Fabric {
         if src == dst {
             return Ok(Duration::ZERO);
         }
-        if self.chaos_drop() {
+        if self.chaos_drop(src) {
             return Err(RayError::MessageDropped);
         }
         let d = self.inner.model.control_delay() + self.chaos_delay();
@@ -301,7 +316,7 @@ impl Fabric {
         if !self.is_alive(from) {
             return Err(RayError::NodeDead(from));
         }
-        if self.chaos_drop() {
+        if self.chaos_drop(from) {
             return Err(RayError::MessageDropped);
         }
         if !self.reaches_majority(from) {

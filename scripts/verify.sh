@@ -24,4 +24,12 @@ cargo test -q
 echo "== chaos suite =="
 cargo test -q --test chaos
 
+echo "== trace smoke =="
+# A traced bench run must produce a Chrome trace with at least one task
+# span on every node; trace-check also validates the JSON end to end.
+trace_out="$(mktemp /tmp/rustray-trace.XXXXXX.json)"
+trap 'rm -f "$trace_out"' EXIT
+./target/release/fig08a_locality --quick --trace-out "$trace_out" >/dev/null
+cargo run -q -p xtask -- trace-check "$trace_out" --expect-nodes 2
+
 echo "verify: OK"

@@ -208,7 +208,14 @@ fn snapshot_and_timeline_via_public_api() {
     cluster
         .log_timeline(&TimelineEvent::TaskFinished { task: [3; 16], node: 0, micros: 42 })
         .unwrap();
-    let snap = cluster.snapshot().unwrap();
+    // The result is visible before the worker bumps the executed counter;
+    // retry the snapshot until the count lands.
+    let t0 = std::time::Instant::now();
+    let mut snap = cluster.snapshot().unwrap();
+    while snap.tasks.1 < 1 && t0.elapsed() < Duration::from_secs(5) {
+        std::thread::sleep(Duration::from_millis(5));
+        snap = cluster.snapshot().unwrap();
+    }
     assert_eq!(snap.nodes.len(), 2);
     assert!(snap.tasks.1 >= 1);
     assert_eq!(cluster.timeline().unwrap().len(), 1);

@@ -21,7 +21,7 @@
 //! crate, std only — because the gate has to build offline. Line comments
 //! are stripped before matching so prose about `parking_lot` stays legal.
 
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 use std::path::{Path, PathBuf};
 
@@ -252,6 +252,48 @@ fn argument_is_registered(
     }
 }
 
+// ---------------------------------------------------------------------------
+// Wall-clock emission lint
+// ---------------------------------------------------------------------------
+
+/// Files on the trace emission path. Every time read in these files must go
+/// through `ray_common::trace::Clock` (the single lint-audited seam), so
+/// trace timestamps stay virtualizable; a bare `Instant::now()` here would
+/// silently decouple deadlines from the trace clock.
+pub const EMISSION_PATH_FILES: &[&str] = &[
+    "crates/core/src/worker.rs",
+    "crates/core/src/node.rs",
+    "crates/core/src/lineage.rs",
+    "crates/core/src/failure.rs",
+    "crates/core/src/global_loop.rs",
+    "crates/object-store/src/transfer.rs",
+    "crates/object-store/src/store.rs",
+];
+
+/// Flags direct `Instant::now(` calls in an emission-path file. Test
+/// modules are exempt (tests may measure real time); they sit at the
+/// bottom of these files behind `#[cfg(test)]`, so scanning stops there.
+pub fn lint_wall_clock(path: &Path, src: &str) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for (idx, raw_line) in src.lines().enumerate() {
+        let line = strip_line_comment(raw_line);
+        if line.contains("#[cfg(test)]")
+            || line.trim_start().starts_with("mod tests")
+        {
+            break;
+        }
+        if line.contains("Instant::now(") {
+            findings.push(Finding {
+                file: path.to_path_buf(),
+                line: idx + 1,
+                rule: "wall-clock-emission",
+                excerpt: raw_line.trim().to_string(),
+            });
+        }
+    }
+    findings
+}
+
 /// Recursively collects `.rs` files under `dir` into `out` (sorted).
 fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
     let mut entries: Vec<_> =
@@ -303,6 +345,10 @@ pub fn lint_workspace(root: &Path) -> std::io::Result<LintReport> {
         let allow_raw = file == &sync_path;
         let rel = file.strip_prefix(root).unwrap_or(file);
         findings.extend(lint_source(rel, &src, &registry, allow_raw));
+        let rel_str = rel.to_string_lossy();
+        if EMISSION_PATH_FILES.iter().any(|p| *p == rel_str) {
+            findings.extend(lint_wall_clock(rel, &src));
+        }
     }
     Ok(LintReport { files_scanned, findings })
 }
@@ -318,6 +364,258 @@ pub fn lint_paths(root: &Path, paths: &[PathBuf]) -> std::io::Result<LintReport>
         findings.extend(lint_source(file, &src, &registry, false));
     }
     Ok(LintReport { files_scanned: paths.len(), findings })
+}
+
+// ---------------------------------------------------------------------------
+// trace-check: Chrome trace_event JSON validation
+// ---------------------------------------------------------------------------
+
+/// A minimal JSON value — just enough to validate a Chrome trace file.
+/// Hand-rolled because the gate has to build offline (std only).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+}
+
+struct JsonParser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> JsonParser<'a> {
+    fn new(src: &'a str) -> JsonParser<'a> {
+        JsonParser { bytes: src.as_bytes(), pos: 0 }
+    }
+
+    fn err(&self, msg: &str) -> String {
+        format!("{msg} at byte {}", self.pos)
+    }
+
+    fn skip_ws(&mut self) {
+        while self.pos < self.bytes.len()
+            && matches!(self.bytes[self.pos], b' ' | b'\t' | b'\n' | b'\r')
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, c: u8) -> Result<(), String> {
+        if self.peek() == Some(c) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected '{}'", c as char)))
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Json, String> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'{') => self.parse_object(),
+            Some(b'[') => self.parse_array(),
+            Some(b'"') => Ok(Json::Str(self.parse_string()?)),
+            Some(b't') => self.parse_lit("true", Json::Bool(true)),
+            Some(b'f') => self.parse_lit("false", Json::Bool(false)),
+            Some(b'n') => self.parse_lit("null", Json::Null),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.parse_number(),
+            _ => Err(self.err("expected a JSON value")),
+        }
+    }
+
+    fn parse_lit(&mut self, lit: &str, v: Json) -> Result<Json, String> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(v)
+        } else {
+            Err(self.err(&format!("expected '{lit}'")))
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while self
+            .peek()
+            .is_some_and(|c| c.is_ascii_digit() || matches!(c, b'.' | b'e' | b'E' | b'+' | b'-'))
+        {
+            self.pos += 1;
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .ok()
+            .and_then(|s| s.parse::<f64>().ok())
+            .map(Json::Num)
+            .ok_or_else(|| self.err("bad number"))
+    }
+
+    fn parse_string(&mut self) -> Result<String, String> {
+        self.eat(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self.peek().ok_or_else(|| self.err("bad escape"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b't' => out.push('\t'),
+                        b'r' => out.push('\r'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            if self.pos + 4 > self.bytes.len() {
+                                return Err(self.err("bad \\u escape"));
+                            }
+                            let hex = std::str::from_utf8(&self.bytes[self.pos..self.pos + 4])
+                                .map_err(|_| self.err("bad \\u escape"))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| self.err("bad \\u escape"))?;
+                            // Surrogates render as the replacement char;
+                            // fine for validation purposes.
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                            self.pos += 4;
+                        }
+                        _ => return Err(self.err("unknown escape")),
+                    }
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar (the input came from &str,
+                    // so boundaries are valid).
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| self.err("invalid utf-8"))?;
+                    let ch = rest.chars().next().ok_or_else(|| self.err("eof"))?;
+                    out.push(ch);
+                    self.pos += ch.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn parse_array(&mut self) -> Result<Json, String> {
+        self.eat(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            items.push(self.parse_value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(self.err("expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<Json, String> {
+        self.eat(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.skip_ws();
+            self.eat(b':')?;
+            let value = self.parse_value()?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                _ => return Err(self.err("expected ',' or '}'")),
+            }
+        }
+    }
+}
+
+/// Parses a complete JSON document (rejecting trailing garbage).
+pub fn parse_json(src: &str) -> Result<Json, String> {
+    let mut p = JsonParser::new(src);
+    let v = p.parse_value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing data after JSON document"));
+    }
+    Ok(v)
+}
+
+/// Validates a Chrome `trace_event` JSON document: it must parse, hold a
+/// `traceEvents` array of event objects, and (when `expect_nodes` is set)
+/// contain at least one complete (`"ph":"X"`) span for each of pids
+/// `0..expect_nodes`. Returns the per-pid complete-span counts.
+pub fn trace_check(
+    src: &str,
+    expect_nodes: Option<usize>,
+) -> Result<BTreeMap<u64, usize>, String> {
+    let root = parse_json(src)?;
+    let events = match root.get("traceEvents") {
+        Some(Json::Arr(events)) => events,
+        _ => return Err("missing 'traceEvents' array".into()),
+    };
+    let mut spans_per_pid: BTreeMap<u64, usize> = BTreeMap::new();
+    for (i, ev) in events.iter().enumerate() {
+        let (Some(Json::Str(ph)), Some(Json::Num(pid))) = (ev.get("ph"), ev.get("pid")) else {
+            return Err(format!("event {i} lacks string 'ph' / numeric 'pid'"));
+        };
+        if ph == "X" {
+            *spans_per_pid.entry(*pid as u64).or_default() += 1;
+        }
+    }
+    if let Some(n) = expect_nodes {
+        for pid in 0..n as u64 {
+            if !spans_per_pid.contains_key(&pid) {
+                return Err(format!(
+                    "no complete ('X') span for node {pid}; spans per pid: {spans_per_pid:?}"
+                ));
+            }
+        }
+    }
+    Ok(spans_per_pid)
 }
 
 #[cfg(test)]
@@ -395,6 +693,63 @@ mod tests {
         let src = "static T_LOCAL: LockClass = LockClass::new(\"t.local\", 1);\n\
                    let m = OrderedMutex::new(&T_LOCAL, ());\n";
         assert!(lint_source(Path::new("a.rs"), src, &reg(), false).is_empty());
+    }
+
+    #[test]
+    fn wall_clock_in_emission_path_is_flagged() {
+        let src = "let deadline = Instant::now() + timeout;\n";
+        let f = lint_wall_clock(Path::new("crates/core/src/node.rs"), src);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, "wall-clock-emission");
+        // Clock reads pass.
+        let ok = lint_wall_clock(Path::new("a.rs"), "let d = clock.now() + timeout;\n");
+        assert!(ok.is_empty());
+        // Test modules at the bottom of the file are exempt.
+        let tested = "let d = clock.now();\n#[cfg(test)]\nmod tests {\n    \
+                      fn t() { let x = Instant::now(); }\n}\n";
+        assert!(lint_wall_clock(Path::new("a.rs"), tested).is_empty());
+        // Comments don't count.
+        assert!(lint_wall_clock(Path::new("a.rs"), "// not Instant::now()\n").is_empty());
+    }
+
+    #[test]
+    fn trace_check_accepts_valid_trace() {
+        let src = r#"{"traceEvents":[
+            {"name":"f","cat":"task","ph":"X","ts":1,"dur":5,"pid":0,"tid":7,"args":{}},
+            {"name":"g","cat":"task","ph":"X","ts":2,"dur":3,"pid":1,"tid":8,"args":{}},
+            {"name":"submitted","cat":"lifecycle","ph":"i","ts":0,"pid":0,"tid":7,"s":"t"}
+        ]}"#;
+        let spans = trace_check(src, Some(2)).expect("valid trace");
+        assert_eq!(spans.get(&0), Some(&1));
+        assert_eq!(spans.get(&1), Some(&1));
+    }
+
+    #[test]
+    fn trace_check_rejects_missing_node_span() {
+        let src = r#"{"traceEvents":[
+            {"name":"f","ph":"X","ts":1,"dur":5,"pid":0,"tid":7}
+        ]}"#;
+        let err = trace_check(src, Some(2)).unwrap_err();
+        assert!(err.contains("node 1"), "got: {err}");
+    }
+
+    #[test]
+    fn trace_check_rejects_malformed_json() {
+        assert!(trace_check("{\"traceEvents\":[", None).is_err());
+        assert!(trace_check("{\"traceEvents\":{}}", None).is_err());
+        assert!(trace_check("{\"traceEvents\":[]} junk", None).is_err());
+    }
+
+    #[test]
+    fn json_parser_handles_escapes_and_numbers() {
+        let v = parse_json(r#"{"a":"q\"\nA","b":-1.5e2,"c":[true,false,null]}"#)
+            .expect("parse");
+        assert_eq!(v.get("a"), Some(&Json::Str("q\"\nA".to_string())));
+        assert_eq!(v.get("b"), Some(&Json::Num(-150.0)));
+        assert_eq!(
+            v.get("c"),
+            Some(&Json::Arr(vec![Json::Bool(true), Json::Bool(false), Json::Null]))
+        );
     }
 
     #[test]

@@ -1,9 +1,16 @@
 //! `cargo run -p xtask -- lint [FILES...]`
 //!
 //! With no arguments after `lint`, walks the whole workspace (see
-//! [`xtask::lint_workspace`]) and exits non-zero if any lock-discipline
-//! violation is found. With explicit file arguments, lints only those files
-//! and applies no allowlist (used by the fixture self-test).
+//! [`xtask::lint_workspace`]) and exits non-zero if any lock-discipline or
+//! wall-clock-emission violation is found. With explicit file arguments,
+//! lints only those files and applies no allowlist (used by the fixture
+//! self-test).
+//!
+//! `cargo run -p xtask -- trace-check <trace.json> [--expect-nodes N]`
+//!
+//! Validates a Chrome `trace_event` file produced by a bench binary's
+//! `--trace-out` flag: the JSON must parse and, with `--expect-nodes N`,
+//! every node pid in `0..N` must have at least one complete span.
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
@@ -54,9 +61,54 @@ fn main() -> ExitCode {
                 }
             }
         }
+        Some("trace-check") => {
+            let mut path: Option<PathBuf> = None;
+            let mut expect_nodes: Option<usize> = None;
+            let mut rest = args;
+            while let Some(a) = rest.next() {
+                if a == "--expect-nodes" {
+                    expect_nodes = rest.next().and_then(|n| n.parse().ok());
+                    if expect_nodes.is_none() {
+                        eprintln!("trace-check: --expect-nodes needs a number");
+                        return ExitCode::FAILURE;
+                    }
+                } else if path.is_none() {
+                    path = Some(PathBuf::from(a));
+                } else {
+                    eprintln!("trace-check: unexpected argument {a:?}");
+                    return ExitCode::FAILURE;
+                }
+            }
+            let Some(path) = path else {
+                eprintln!("usage: cargo run -p xtask -- trace-check <trace.json> [--expect-nodes N]");
+                return ExitCode::FAILURE;
+            };
+            let src = match std::fs::read_to_string(&path) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("trace-check: cannot read {}: {e}", path.display());
+                    return ExitCode::FAILURE;
+                }
+            };
+            match xtask::trace_check(&src, expect_nodes) {
+                Ok(spans) => {
+                    let total: usize = spans.values().sum();
+                    println!(
+                        "trace-check: OK ({total} span(s) across {} node(s))",
+                        spans.len()
+                    );
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("trace-check: {}: {e}", path.display());
+                    ExitCode::FAILURE
+                }
+            }
+        }
         other => {
             eprintln!(
                 "usage: cargo run -p xtask -- lint [FILES...]\n\
+                 \x20      cargo run -p xtask -- trace-check <trace.json> [--expect-nodes N]\n\
                  (got {other:?})"
             );
             ExitCode::FAILURE
