@@ -82,7 +82,13 @@ fn bench_gcs(c: &mut Criterion) {
 
     for chain_len in [1usize, 2, 3] {
         let cfg = GcsConfig { chain_length: chain_len, ..GcsConfig::default() };
-        let chain = Chain::start(ShardId(0), &cfg, MetricsRegistry::new()).unwrap();
+        let chain = Chain::start(
+            ShardId(0),
+            &cfg,
+            MetricsRegistry::new(),
+            ray_common::trace::TraceCollector::disabled(),
+        )
+        .unwrap();
         let value = Bytes::from(vec![0u8; 512]);
         let mut i = 0u64;
         c.bench_function(&format!("gcs/chain_write_512B_{chain_len}_replicas"), |b| {

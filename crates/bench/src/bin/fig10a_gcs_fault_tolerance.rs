@@ -22,7 +22,13 @@ fn main() {
     let kill_at = run_for / 2;
 
     let cfg = GcsConfig { num_shards: 1, chain_length: 2, ..GcsConfig::default() };
-    let chain = Chain::start(ShardId(0), &cfg, MetricsRegistry::new()).expect("start chain");
+    let chain = Chain::start(
+        ShardId(0),
+        &cfg,
+        MetricsRegistry::new(),
+        ray_common::trace::TraceCollector::disabled(),
+    )
+    .expect("start chain");
 
     // One client, one in-flight request, alternating write/read; record
     // (timestamp, latency, op).

@@ -116,6 +116,15 @@ pub struct GcsConfig {
     /// Simulated per-operation processing delay inside a replica (models
     /// Redis command latency; zero for microbenchmarks).
     pub op_delay: Duration,
+    /// Consecutive all-probes-dead reconfiguration rounds before the chain
+    /// master treats a shard as wholly lost and rebuilds it from the
+    /// flushed disk log. Low values recover fast; higher values tolerate
+    /// longer scheduling stalls before declaring whole-shard loss.
+    pub recovery_threshold: usize,
+    /// Client-side retry budget (beyond the chain's internal retries)
+    /// before a timed-out or shard-unavailable GCS operation is surfaced
+    /// to the caller.
+    pub client_retry_limit: u32,
 }
 
 impl Default for GcsConfig {
@@ -127,6 +136,8 @@ impl Default for GcsConfig {
             flush_threshold_entries: 100_000,
             flush_interval: Duration::from_millis(50),
             op_delay: Duration::ZERO,
+            recovery_threshold: 3,
+            client_retry_limit: 3,
         }
     }
 }
@@ -294,6 +305,9 @@ impl RayConfig {
         }
         if self.gcs.chain_length == 0 {
             return Err("gcs.chain_length must be >= 1".into());
+        }
+        if self.gcs.recovery_threshold == 0 {
+            return Err("gcs.recovery_threshold must be >= 1".into());
         }
         if self.scheduler.global_replicas == 0 {
             return Err("scheduler.global_replicas must be >= 1".into());

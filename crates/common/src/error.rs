@@ -7,7 +7,7 @@
 
 use std::fmt;
 
-use crate::id::{ActorId, NodeId, ObjectId, TaskId};
+use crate::id::{ActorId, NodeId, ObjectId, ShardId, TaskId};
 
 /// Result alias used across the workspace.
 pub type RayResult<T> = Result<T, RayError>;
@@ -26,6 +26,12 @@ pub enum RayError {
     NodeDead(NodeId),
     /// A blocking call exceeded its timeout.
     Timeout,
+    /// A GCS shard exhausted its client retry budget without reaching a
+    /// live chain (whole-shard failure). Unlike [`RayError::Timeout`] this
+    /// is a control-plane outage: the caller should back off and retry
+    /// (shard recovery replays the flushed log) rather than assume a slow
+    /// replica.
+    GcsUnavailable(ShardId),
     /// Serialization or deserialization failed.
     Codec(String),
     /// No function registered under the requested name/ID.
@@ -58,6 +64,9 @@ impl fmt::Display for RayError {
             RayError::ActorDied(id) => write!(f, "actor {id} died"),
             RayError::NodeDead(id) => write!(f, "node {id} is dead"),
             RayError::Timeout => write!(f, "operation timed out"),
+            RayError::GcsUnavailable(shard) => {
+                write!(f, "GCS shard {shard} unavailable (retries exhausted)")
+            }
             RayError::Codec(msg) => write!(f, "codec error: {msg}"),
             RayError::FunctionNotFound(name) => write!(f, "function not registered: {name}"),
             RayError::StoreFull { requested, capacity } => write!(
@@ -107,5 +116,13 @@ mod tests {
     fn errors_are_comparable() {
         assert_eq!(RayError::Timeout, RayError::Timeout);
         assert_ne!(RayError::Timeout, RayError::Codec("x".into()));
+        assert_ne!(RayError::GcsUnavailable(ShardId(0)), RayError::Timeout);
+    }
+
+    #[test]
+    fn gcs_unavailable_names_the_shard() {
+        let msg = RayError::GcsUnavailable(ShardId(3)).to_string();
+        assert!(msg.contains("S3"), "{msg}");
+        assert!(msg.contains("unavailable"), "{msg}");
     }
 }

@@ -160,6 +160,8 @@ pub mod classes {
     pub static GCS_DISK_INDEX: LockClass = LockClass::new("gcs.disk_index", 430);
     /// The flusher thread's join handle.
     pub static GCS_FLUSHER_JOIN: LockClass = LockClass::new("gcs.flusher_join", 440);
+    /// Consistency-checker write journal (never held across chain calls).
+    pub static GCS_CHECKER: LockClass = LockClass::new("gcs.checker", 450);
 
     // --- transport (500–599) ---
 

@@ -37,7 +37,7 @@ use std::time::Instant;
 
 use serde::{Deserialize, Serialize};
 
-use crate::id::{ActorId, NodeId, ObjectId, TaskId};
+use crate::id::{ActorId, NodeId, ObjectId, ShardId, TaskId};
 use crate::sync::{classes, OrderedMutex, OrderedRwLock};
 
 // ---------------------------------------------------------------------------
@@ -144,6 +144,8 @@ pub enum TraceEntity {
     Actor(ActorId),
     /// A node.
     Node(NodeId),
+    /// A GCS shard (control-plane chain failover/recovery events).
+    Shard(ShardId),
 }
 
 impl TraceEntity {
@@ -154,6 +156,7 @@ impl TraceEntity {
             TraceEntity::Object(o) => format!("o:{o}"),
             TraceEntity::Actor(a) => format!("a:{a}"),
             TraceEntity::Node(n) => format!("n:{}", n.0),
+            TraceEntity::Shard(s) => format!("s:{}", s.0),
         }
     }
 }
@@ -220,6 +223,16 @@ pub enum TraceEventKind {
     CheckpointRestored,
     /// An actor finished rebuilding on a new node.
     ActorRebuilt,
+    /// A GCS chain replica was crashed (fault injection or real failure).
+    GcsReplicaCrashed,
+    /// A GCS chain was reconfigured: dead members dropped, replacements
+    /// spliced in via state transfer.
+    GcsReconfigured,
+    /// A whole GCS shard lost every replica and was rebuilt from its
+    /// flushed disk log.
+    GcsShardRecovered,
+    /// A GCS flush cycle moved cold entries to the shard's disk log.
+    GcsFlush,
 }
 
 impl TraceEventKind {
@@ -249,6 +262,10 @@ impl TraceEventKind {
             CheckpointTaken => "checkpoint_taken",
             CheckpointRestored => "checkpoint_restored",
             ActorRebuilt => "actor_rebuilt",
+            GcsReplicaCrashed => "gcs_replica_crashed",
+            GcsReconfigured => "gcs_reconfigured",
+            GcsShardRecovered => "gcs_shard_recovered",
+            GcsFlush => "gcs_flush",
         }
     }
 
@@ -272,6 +289,8 @@ impl TraceEventKind {
                 | SpilledGlobal
                 | GlobalPlaced
                 | DepsFetched
+                | GcsReconfigured
+                | GcsFlush
         )
     }
 }
@@ -451,6 +470,27 @@ impl TraceCollector {
         };
         let mut buf = ring.buf.lock();
         buf.events.drain(..).collect()
+    }
+
+    /// Returns previously drained events to the front of `node`'s ring
+    /// (oldest first). Used when a flush to the GCS fails transiently —
+    /// e.g. a shard mid-recovery — so lifecycle events are not lost; the
+    /// next heartbeat tick retries them. Events past ring capacity are
+    /// dropped from the front (oldest first), same as on emit.
+    pub fn requeue_node(&self, node: NodeId, events: Vec<TraceEvent>) {
+        if !self.is_enabled() || events.is_empty() {
+            return;
+        }
+        let ring = self.ring(node);
+        let mut buf = ring.buf.lock();
+        for e in events.into_iter().rev() {
+            buf.events.push_front(e);
+        }
+        while buf.events.len() > self.inner.capacity {
+            buf.events.pop_front();
+            buf.dropped += 1;
+            self.inner.dropped.fetch_add(1, Ordering::Relaxed);
+        }
     }
 
     /// Drains every ring (final flush at shutdown/collection time).

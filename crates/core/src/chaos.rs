@@ -17,7 +17,7 @@
 use std::time::{Duration, Instant};
 
 use ray_common::util::DetRng;
-use ray_common::NodeId;
+use ray_common::{NodeId, ShardId};
 
 use crate::cluster::Cluster;
 
@@ -35,6 +35,16 @@ pub enum ChaosAction {
     Partition(NodeId, NodeId),
     /// Repair the link between two nodes.
     Heal(NodeId, NodeId),
+    /// Crash one replica of a GCS shard's chain; the next client operation
+    /// times out and splices in a replacement via state transfer.
+    CrashGcsReplica(ShardId, usize),
+    /// Crash every replica of a GCS shard at once; clients stall until the
+    /// chain rebuilds itself from the shard's disk log.
+    CrashGcsShard(ShardId),
+    /// Pause the GCS background flusher (memory grows unchecked).
+    StallFlusher,
+    /// Resume a stalled flusher.
+    ResumeFlusher,
 }
 
 /// A chaos action with its fire time, relative to [`ChaosSchedule::run`]'s
@@ -130,6 +140,82 @@ impl ChaosSchedule {
         ChaosSchedule::from_events(events)
     }
 
+    /// Like [`ChaosSchedule::generate`], but mixes control-plane faults
+    /// into the schedule: GCS replica crashes, flusher stalls (paired with
+    /// a later resume), and — when `include_shard_crashes` is set —
+    /// whole-shard crashes. Whole-shard crashes lose any state not yet
+    /// flushed to the shard's disk log, so soaks that assert exact
+    /// workload results should leave the flag off and cover shard loss
+    /// with a controlled flush-first test instead.
+    ///
+    /// Replica indices are drawn from `0..2` (the default chain length);
+    /// out-of-range indices are no-ops at apply time. Node 0 is still
+    /// never a victim, and node kills keep their paired restarts.
+    pub fn generate_with_gcs(
+        seed: u64,
+        nodes: u32,
+        shards: u32,
+        duration: Duration,
+        faults: usize,
+        include_shard_crashes: bool,
+    ) -> ChaosSchedule {
+        if nodes < 2 || shards == 0 {
+            return ChaosSchedule::generate(seed, nodes, duration, faults);
+        }
+        let mut rng = DetRng::new(seed);
+        let mut events = Vec::new();
+        for _ in 0..faults {
+            let at = duration.mul_f64(0.7 * rng.next_f64());
+            let repair_at = at + duration.mul_f64(0.10 + 0.15 * rng.next_f64());
+            let classes = if include_shard_crashes { 6 } else { 5 };
+            match rng.next_below(classes) {
+                0 => {
+                    let victim = NodeId(1 + rng.next_below(u64::from(nodes - 1)) as u32);
+                    events.push(ChaosEvent { at, action: ChaosAction::Kill(victim) });
+                    events.push(ChaosEvent { at: repair_at, action: ChaosAction::Restart(victim) });
+                }
+                1 => {
+                    let victim = NodeId(1 + rng.next_below(u64::from(nodes - 1)) as u32);
+                    events.push(ChaosEvent { at, action: ChaosAction::KillAbrupt(victim) });
+                    events.push(ChaosEvent { at: repair_at, action: ChaosAction::Restart(victim) });
+                }
+                2 => {
+                    let victim = NodeId(1 + rng.next_below(u64::from(nodes - 1)) as u32);
+                    for other in 0..nodes {
+                        if other != victim.0 {
+                            events.push(ChaosEvent {
+                                at,
+                                action: ChaosAction::Partition(victim, NodeId(other)),
+                            });
+                            events.push(ChaosEvent {
+                                at: repair_at,
+                                action: ChaosAction::Heal(victim, NodeId(other)),
+                            });
+                        }
+                    }
+                    events.push(ChaosEvent {
+                        at: repair_at + Duration::from_millis(1),
+                        action: ChaosAction::Restart(victim),
+                    });
+                }
+                3 => {
+                    let shard = ShardId(rng.next_below(u64::from(shards)) as u32);
+                    let idx = rng.next_below(2) as usize;
+                    events.push(ChaosEvent { at, action: ChaosAction::CrashGcsReplica(shard, idx) });
+                }
+                4 => {
+                    events.push(ChaosEvent { at, action: ChaosAction::StallFlusher });
+                    events.push(ChaosEvent { at: repair_at, action: ChaosAction::ResumeFlusher });
+                }
+                _ => {
+                    let shard = ShardId(rng.next_below(u64::from(shards)) as u32);
+                    events.push(ChaosEvent { at, action: ChaosAction::CrashGcsShard(shard) });
+                }
+            }
+        }
+        ChaosSchedule::from_events(events)
+    }
+
     /// Applies the schedule to a running cluster, sleeping between events.
     /// Blocking: run it from its own thread alongside the workload.
     /// Restart errors (slot already live again) are ignored — overlapping
@@ -146,7 +232,9 @@ impl ChaosSchedule {
     }
 }
 
-/// Applies one action to a cluster.
+/// Applies one action to a cluster. GCS shard indices out of range for the
+/// cluster's layout are ignored (a schedule generated for a different
+/// shard count must not panic mid-run).
 pub fn apply(cluster: &Cluster, action: ChaosAction) {
     match action {
         ChaosAction::Kill(n) => cluster.kill_node(n),
@@ -156,12 +244,25 @@ pub fn apply(cluster: &Cluster, action: ChaosAction) {
         }
         ChaosAction::Partition(a, b) => cluster.fabric().partition(a, b),
         ChaosAction::Heal(a, b) => cluster.fabric().heal(a, b),
+        ChaosAction::CrashGcsReplica(shard, idx) => {
+            if (shard.0 as usize) < cluster.gcs().num_shards() {
+                cluster.gcs().shard(shard).crash_member(idx);
+            }
+        }
+        ChaosAction::CrashGcsShard(shard) => {
+            if (shard.0 as usize) < cluster.gcs().num_shards() {
+                cluster.gcs().crash_shard(shard);
+            }
+        }
+        ChaosAction::StallFlusher => cluster.gcs().stall_flusher(),
+        ChaosAction::ResumeFlusher => cluster.gcs().resume_flusher(),
     }
 }
 
 /// Restores a cluster to full strength after a schedule: heals every link
-/// among the first `nodes` nodes and restarts every empty slot (node 0
-/// included, though generated schedules never kill it).
+/// among the first `nodes` nodes, restarts every empty slot (node 0
+/// included, though generated schedules never kill it), resumes the GCS
+/// flusher, and forces recovery of any GCS shard whose chain died.
 pub fn repair(cluster: &Cluster, nodes: u32) {
     for a in 0..nodes {
         for b in (a + 1)..nodes {
@@ -171,6 +272,8 @@ pub fn repair(cluster: &Cluster, nodes: u32) {
     for n in 0..nodes {
         let _ = cluster.restart_node(NodeId(n));
     }
+    cluster.gcs().resume_flusher();
+    cluster.gcs().heal_all();
 }
 
 #[cfg(test)]
@@ -207,6 +310,11 @@ mod tests {
                     ChaosAction::Partition(v, _) | ChaosAction::Heal(v, _) => {
                         assert_ne!(v, NodeId(0), "seed {seed}")
                     }
+                    // Control-plane faults target shards, not nodes.
+                    ChaosAction::CrashGcsReplica(..)
+                    | ChaosAction::CrashGcsShard(_)
+                    | ChaosAction::StallFlusher
+                    | ChaosAction::ResumeFlusher => {}
                 }
             }
         }
@@ -243,6 +351,74 @@ mod tests {
             assert!(s.events()[i..]
                 .iter()
                 .any(|later| later.action == ChaosAction::Heal(a, b)));
+        }
+    }
+
+    #[test]
+    fn gcs_generation_is_deterministic_per_seed() {
+        let d = Duration::from_secs(3);
+        assert_eq!(
+            ChaosSchedule::generate_with_gcs(7, 5, 4, d, 12, true),
+            ChaosSchedule::generate_with_gcs(7, 5, 4, d, 12, true)
+        );
+        assert_ne!(
+            ChaosSchedule::generate_with_gcs(7, 5, 4, d, 12, true),
+            ChaosSchedule::generate_with_gcs(8, 5, 4, d, 12, true)
+        );
+    }
+
+    #[test]
+    fn gcs_generation_mixes_in_control_plane_faults() {
+        let s = ChaosSchedule::generate_with_gcs(42, 4, 4, Duration::from_secs(2), 30, true);
+        let has_replica_crash = s
+            .events()
+            .iter()
+            .any(|e| matches!(e.action, ChaosAction::CrashGcsReplica(..)));
+        let has_node_fault = s.events().iter().any(|e| {
+            matches!(e.action, ChaosAction::Kill(_) | ChaosAction::KillAbrupt(_))
+        });
+        assert!(has_replica_crash, "no GCS replica crashes in 30 faults");
+        assert!(has_node_fault, "no node faults in 30 faults");
+    }
+
+    #[test]
+    fn shard_crashes_only_appear_when_requested() {
+        for seed in [3u64, 17, 99] {
+            let s =
+                ChaosSchedule::generate_with_gcs(seed, 4, 4, Duration::from_secs(2), 20, false);
+            assert!(
+                !s.events()
+                    .iter()
+                    .any(|e| matches!(e.action, ChaosAction::CrashGcsShard(_))),
+                "seed {seed}: shard crash generated with flag off"
+            );
+        }
+    }
+
+    #[test]
+    fn gcs_generation_keeps_node_zero_safe_and_pairs_stalls() {
+        for seed in [3u64, 17, 99, 2024] {
+            let s =
+                ChaosSchedule::generate_with_gcs(seed, 4, 2, Duration::from_secs(2), 15, true);
+            for (i, ev) in s.events().iter().enumerate() {
+                match ev.action {
+                    ChaosAction::Kill(n)
+                    | ChaosAction::KillAbrupt(n)
+                    | ChaosAction::Restart(n) => assert_ne!(n, NodeId(0), "seed {seed}"),
+                    ChaosAction::Partition(v, _) | ChaosAction::Heal(v, _) => {
+                        assert_ne!(v, NodeId(0), "seed {seed}")
+                    }
+                    ChaosAction::StallFlusher => {
+                        assert!(
+                            s.events()[i..]
+                                .iter()
+                                .any(|later| later.action == ChaosAction::ResumeFlusher),
+                            "seed {seed}: stall without a later resume"
+                        );
+                    }
+                    _ => {}
+                }
+            }
         }
     }
 

@@ -71,7 +71,7 @@ impl Cluster {
 
         let fabric = Fabric::new_with_metrics(capacity, &config.transport, metrics.clone());
         fabric.set_tracer(trace.clone());
-        let gcs = Gcs::start_with_metrics(&config.gcs, metrics.clone())?;
+        let gcs = Gcs::start_traced(&config.gcs, metrics.clone(), trace.clone())?;
         let gcs_client = gcs.client();
         let directory = StoreDirectory::new();
         let transfer = TransferManager::new(

@@ -239,8 +239,10 @@ fn scheduler_loop(
 }
 
 /// Drains this node's trace ring into the GCS event log as one batch.
-/// Best-effort: a GCS hiccup drops the batch rather than wedging the
-/// scheduler loop.
+/// If the GCS is unreachable (e.g. a shard mid-recovery), the drained
+/// events go back to the front of the ring and ride the next heartbeat's
+/// flush instead of being dropped — a control-plane outage must not punch
+/// holes in the trace.
 fn flush_trace_ring(shared: &Arc<RuntimeShared>, node: NodeId) {
     if !shared.trace.is_enabled() {
         return;
@@ -249,8 +251,13 @@ fn flush_trace_ring(shared: &Arc<RuntimeShared>, node: NodeId) {
     if events.is_empty() {
         return;
     }
+    // Encode failures are deterministic (requeueing would retry forever,
+    // so those batches are dropped); GCS write failures are transient —
+    // requeue so the next flush tick retries.
     if let Ok(payload) = ray_codec::encode(&events) {
-        let _ = shared.gcs_client.log_trace_batch(bytes::Bytes::from(payload));
+        if shared.gcs_client.log_trace_batch(bytes::Bytes::from(payload)).is_err() {
+            shared.trace.requeue_node(node, events);
+        }
     }
 }
 

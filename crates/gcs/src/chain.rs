@@ -16,18 +16,20 @@
 //!   `ListAppend` is at-least-once, documented for event logs), so client
 //!   retry after timeout is safe.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::time::Duration;
 
 use crossbeam_channel::bounded;
 
 use ray_common::config::GcsConfig;
+use ray_common::id::NodeId;
 use ray_common::metrics::MetricsRegistry;
 use ray_common::sync::{classes, OrderedMutex, OrderedRwLock};
+use ray_common::trace::{TraceCollector, TraceEntity, TraceEventKind};
 use ray_common::{RayError, RayResult, ShardId};
 
 use crate::flush::DiskStore;
-use crate::kv::{Entry, Key, UpdateOp};
+use crate::kv::{Entry, Key, Table, UpdateOp};
 use crate::replica::{ReplicaHandle, ReplicaMsg};
 
 use std::sync::Arc;
@@ -53,27 +55,40 @@ pub struct Chain {
     shard_id: ShardId,
     cfg: GcsConfig,
     metrics: MetricsRegistry,
+    trace: TraceCollector,
     members: OrderedRwLock<Vec<ReplicaHandle>>,
     reconfig: OrderedMutex<()>,
     next_replica_id: AtomicU64,
     committed: AtomicU64,
     reconfigurations: AtomicU64,
+    /// Consecutive reconfiguration rounds in which *every* probe failed.
+    /// Crossing `cfg.recovery_threshold` escalates to whole-shard recovery
+    /// from the disk log instead of waiting forever for a transient stall
+    /// to clear.
+    all_dead_streak: AtomicUsize,
     disk: Arc<DiskStore>,
 }
 
 impl Chain {
     /// Starts a chain of `cfg.chain_length` replicas for `shard_id`.
-    pub fn start(shard_id: ShardId, cfg: &GcsConfig, metrics: MetricsRegistry) -> RayResult<Chain> {
+    pub fn start(
+        shard_id: ShardId,
+        cfg: &GcsConfig,
+        metrics: MetricsRegistry,
+        trace: TraceCollector,
+    ) -> RayResult<Chain> {
         let disk = Arc::new(DiskStore::in_memory());
         let chain = Chain {
             shard_id,
             cfg: cfg.clone(),
             metrics,
+            trace,
             members: OrderedRwLock::new(&classes::GCS_MEMBERS, Vec::new()),
             reconfig: OrderedMutex::new(&classes::GCS_RECONFIG, ()),
             next_replica_id: AtomicU64::new(0),
             committed: AtomicU64::new(0),
             reconfigurations: AtomicU64::new(0),
+            all_dead_streak: AtomicUsize::new(0),
             disk,
         };
         {
@@ -126,6 +141,11 @@ impl Chain {
         &self.disk
     }
 
+    /// Distinct keys flushed to this shard's disk tier.
+    pub fn keys_on_disk(&self) -> usize {
+        self.disk.keys_on_disk()
+    }
+
     /// Crashes the `idx`-th chain member (failure injection for tests and
     /// the Fig. 10a benchmark). The member stops responding; the next
     /// client operation will time out and trigger reconfiguration.
@@ -133,7 +153,46 @@ impl Chain {
         let members = self.members.read();
         if let Some(m) = members.get(idx) {
             m.crash();
+            self.trace.emit(
+                NodeId(0),
+                TraceEventKind::GcsReplicaCrashed,
+                TraceEntity::Shard(self.shard_id),
+                format!("replica={idx}"),
+            );
         }
+    }
+
+    /// Crashes every chain member at once (whole-shard fault injection).
+    /// Clients stall until the all-dead streak crosses
+    /// `cfg.recovery_threshold` and recovery rebuilds the chain from the
+    /// disk log; unflushed in-memory state is lost.
+    pub fn crash_all(&self) {
+        let members = self.members.read();
+        for m in members.iter() {
+            m.crash();
+        }
+        self.trace.emit(
+            NodeId(0),
+            TraceEventKind::GcsReplicaCrashed,
+            TraceEntity::Shard(self.shard_id),
+            format!("all={}", members.len()),
+        );
+    }
+
+    /// Flushes every flushable table down to `keep` in-memory entries
+    /// (synchronous; tests and the chaos harness use this to pin what is
+    /// durable before injecting a shard crash).
+    pub fn flush_to_disk(&self, keep: usize) -> RayResult<()> {
+        for table in [Table::Task, Table::Lineage, Table::Event] {
+            self.write(UpdateOp::Flush { table, keep_entries: keep })?;
+        }
+        self.trace.emit(
+            NodeId(0),
+            TraceEventKind::GcsFlush,
+            TraceEntity::Shard(self.shard_id),
+            format!("keys_on_disk={}", self.disk.keys_on_disk()),
+        );
+        Ok(())
     }
 
     /// Applies an update through the chain (head → ... → tail → ack).
@@ -161,7 +220,7 @@ impl Chain {
                 }
             }
         }
-        Err(RayError::Timeout)
+        Err(RayError::GcsUnavailable(self.shard_id))
     }
 
     /// Reads a key from the tail (the commit point).
@@ -181,15 +240,28 @@ impl Chain {
                 Err(_) => self.reconfigure(),
             }
         }
-        Err(RayError::Timeout)
+        Err(RayError::GcsUnavailable(self.shard_id))
     }
 
     /// Master logic: probe all members, drop the dead, splice in a
     /// replacement via state transfer, and restore chain links.
     ///
     /// Serialized by the master lock; concurrent reporters coalesce (the
-    /// second caller finds a healthy chain and does nothing).
+    /// second caller finds a healthy chain and does nothing). When every
+    /// probe fails for `cfg.recovery_threshold` consecutive rounds, the
+    /// whole chain is declared lost and rebuilt from the disk log.
     pub fn reconfigure(&self) {
+        self.reconfigure_inner(false);
+    }
+
+    /// Forces whole-shard recovery if no member answers a probe, bypassing
+    /// the all-dead streak threshold (chaos repair uses this so a healed
+    /// cluster never ends with a wedged shard).
+    pub fn heal(&self) {
+        self.reconfigure_inner(true);
+    }
+
+    fn reconfigure_inner(&self, force_recover: bool) {
         let _master = self.reconfig.lock();
         // Probe in parallel: send all pings first, then collect.
         let probes: Vec<_> = {
@@ -203,29 +275,42 @@ impl Chain {
                 })
                 .collect()
         };
-        let deadline = std::time::Instant::now() + PROBE_TIMEOUT;
+        if probes.is_empty() {
+            // Shut down (members cleared); nothing to probe or rebuild.
+            return;
+        }
+        let clock = self.trace.clock().clone();
+        let deadline = clock.now() + PROBE_TIMEOUT;
         let alive: Vec<bool> = probes
             .into_iter()
             .map(|(sent, rx)| {
                 if !sent {
                     return false;
                 }
-                let now = std::time::Instant::now();
+                let now = clock.now();
                 let remaining = deadline.saturating_duration_since(now).max(Duration::from_millis(1));
                 rx.recv_timeout(remaining).is_ok()
             })
             .collect();
         if alive.iter().all(|&a| a) {
             // False alarm (e.g. slow op); nothing to do.
+            self.all_dead_streak.store(0, Ordering::Relaxed);
             return;
         }
         if !alive.iter().any(|&a| a) {
-            // Every probe timed out at once: far more likely a scheduling
-            // stall than a simultaneous whole-chain failure. Removing all
-            // members would discard committed state irrecoverably, so
-            // treat it as transient and let the client retry.
+            // Every probe timed out at once. A single occurrence is more
+            // likely a scheduling stall than a simultaneous whole-chain
+            // failure, and removing all members on a fluke would discard
+            // committed state. But when it keeps happening the chain really
+            // is gone, so count consecutive all-dead rounds and escalate to
+            // recovery from the disk log.
+            let streak = self.all_dead_streak.fetch_add(1, Ordering::Relaxed) + 1;
+            if force_recover || streak >= self.cfg.recovery_threshold {
+                self.recover_from_disk();
+            }
             return;
         }
+        self.all_dead_streak.store(0, Ordering::Relaxed);
 
         let mut members = self.members.write();
         let mut idx = 0;
@@ -255,6 +340,49 @@ impl Chain {
         }
         relink(&members);
         self.reconfigurations.fetch_add(1, Ordering::Relaxed);
+        self.trace.emit(
+            NodeId(0),
+            TraceEventKind::GcsReconfigured,
+            TraceEntity::Shard(self.shard_id),
+            format!("members={}", members.len()),
+        );
+    }
+
+    /// Whole-shard recovery: every replica is gone, so spawn a fresh chain
+    /// over the surviving disk log. Flushed entries (the lineage tables —
+    /// paper Fig. 10b) are replayed through the disk tier's index and stay
+    /// readable via read-through; unflushed in-memory entries and live
+    /// subscriptions are lost (callers recover those through lineage
+    /// reconstruction and re-subscription).
+    ///
+    /// Caller must hold the reconfig (master) lock.
+    fn recover_from_disk(&self) {
+        let mut members = self.members.write();
+        // Dropping the old handles joins the crashed replica threads.
+        members.clear();
+        // Validate the log end-to-end before serving from it: every record
+        // must decode (reopen already truncated any torn tail for
+        // file-backed stores).
+        let replayed = self.disk.replay().len();
+        for _ in 0..self.cfg.chain_length {
+            members.push(self.spawn_replica());
+        }
+        relink(&members);
+        drop(members);
+        self.reconfigurations.fetch_add(1, Ordering::Relaxed);
+        self.all_dead_streak.store(0, Ordering::Relaxed);
+        self.trace.emit(
+            NodeId(0),
+            TraceEventKind::GcsReconfigured,
+            TraceEntity::Shard(self.shard_id),
+            "rebuilt".to_string(),
+        );
+        self.trace.emit(
+            NodeId(0),
+            TraceEventKind::GcsShardRecovered,
+            TraceEntity::Shard(self.shard_id),
+            format!("replayed={replayed}"),
+        );
     }
 
     /// Stops all replica threads.
@@ -287,7 +415,7 @@ mod tests {
 
     fn start_chain(len: usize) -> Chain {
         let cfg = GcsConfig { chain_length: len, ..GcsConfig::default() };
-        Chain::start(ShardId(0), &cfg, MetricsRegistry::new()).unwrap()
+        Chain::start(ShardId(0), &cfg, MetricsRegistry::new(), TraceCollector::disabled()).unwrap()
     }
 
     fn put(chain: &Chain, id: u8, val: &'static [u8]) -> RayResult<()> {
@@ -341,11 +469,76 @@ mod tests {
     }
 
     #[test]
-    fn sole_replica_crash_loses_shard() {
+    fn sole_replica_crash_recovers_empty_after_threshold() {
+        // Nothing was flushed, so whole-shard recovery comes back empty —
+        // but it *does* come back: the write that drives the all-dead
+        // streak past the threshold succeeds within its retry budget.
         let chain = start_chain(1);
         put(&chain, 1, b"x").unwrap();
         chain.crash_member(0);
-        assert!(put(&chain, 2, b"y").is_err());
+        put(&chain, 2, b"y").unwrap();
+        assert_eq!(get(&chain, 1), None, "unflushed entry should be gone");
+        assert_eq!(get(&chain, 2), Some(Entry::Blob(Bytes::from_static(b"y"))));
+        assert_eq!(chain.replica_count(), 1);
+        chain.shutdown();
+    }
+
+    #[test]
+    fn flushed_state_survives_whole_shard_crash() {
+        let chain = start_chain(2);
+        for i in 0..10 {
+            put(&chain, i, b"durable").unwrap();
+        }
+        chain.flush_to_disk(0).unwrap();
+        chain.crash_all();
+        // The next write stalls through the recovery threshold, then lands
+        // on the rebuilt chain.
+        put(&chain, 100, b"after").unwrap();
+        for i in 0..10 {
+            assert_eq!(
+                get(&chain, i),
+                Some(Entry::Blob(Bytes::from_static(b"durable"))),
+                "flushed entry {i} lost across whole-shard crash"
+            );
+        }
+        assert_eq!(get(&chain, 100), Some(Entry::Blob(Bytes::from_static(b"after"))));
+        assert_eq!(chain.replica_count(), 2);
+        chain.shutdown();
+    }
+
+    #[test]
+    fn unreachable_recovery_threshold_surfaces_gcs_unavailable() {
+        let cfg = GcsConfig { chain_length: 1, recovery_threshold: 100, ..GcsConfig::default() };
+        let chain =
+            Chain::start(ShardId(7), &cfg, MetricsRegistry::new(), TraceCollector::disabled())
+                .unwrap();
+        put(&chain, 1, b"x").unwrap();
+        chain.crash_member(0);
+        assert_eq!(put(&chain, 2, b"y"), Err(RayError::GcsUnavailable(ShardId(7))));
+        chain.shutdown();
+    }
+
+    #[test]
+    fn recovery_emits_ordered_trace_events() {
+        use ray_common::trace::TraceLog;
+
+        let cfg = GcsConfig { chain_length: 1, ..GcsConfig::default() };
+        let trace = TraceCollector::new(1024);
+        let chain =
+            Chain::start(ShardId(0), &cfg, MetricsRegistry::new(), trace.clone()).unwrap();
+        put(&chain, 1, b"x").unwrap();
+        chain.flush_to_disk(0).unwrap();
+        chain.crash_all();
+        put(&chain, 2, b"y").unwrap();
+        let log = TraceLog::from_events(trace.drain_node(NodeId(0)));
+        log.assert().ordered(
+            TraceEntity::Shard(ShardId(0)),
+            &[
+                TraceEventKind::GcsReplicaCrashed,
+                TraceEventKind::GcsReconfigured,
+                TraceEventKind::GcsShardRecovered,
+            ],
+        );
         chain.shutdown();
     }
 

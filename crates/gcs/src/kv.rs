@@ -50,6 +50,39 @@ impl Table {
     pub fn flushable(self) -> bool {
         matches!(self, Table::Task | Table::Lineage | Table::Event)
     }
+
+    /// Stable one-byte tag identifying this table in disk log records.
+    ///
+    /// Part of the on-disk format (see `flush.rs`): changing an existing
+    /// mapping invalidates previously written logs.
+    pub fn to_tag(self) -> u8 {
+        match self {
+            Table::Object => 0,
+            Table::Task => 1,
+            Table::Function => 2,
+            Table::Client => 3,
+            Table::Actor => 4,
+            Table::Checkpoint => 5,
+            Table::Lineage => 6,
+            Table::Event => 7,
+        }
+    }
+
+    /// Inverse of [`Table::to_tag`]; `None` for unknown tags (corrupt or
+    /// torn disk records).
+    pub fn from_tag(tag: u8) -> Option<Table> {
+        Some(match tag {
+            0 => Table::Object,
+            1 => Table::Task,
+            2 => Table::Function,
+            3 => Table::Client,
+            4 => Table::Actor,
+            5 => Table::Checkpoint,
+            6 => Table::Lineage,
+            7 => Table::Event,
+            _ => return None,
+        })
+    }
 }
 
 /// A key within a shard: table plus raw ID bytes.
@@ -314,6 +347,16 @@ impl ShardState {
                 (self.notifications_for(key), 0)
             }
             UpdateOp::ListAppend { key, item } => {
+                // A list that was flushed to disk must be pulled back into
+                // memory before appending; otherwise a fresh empty list
+                // would shadow the disk version on reads and the flushed
+                // items would silently disappear.
+                if !self.entries.contains_key(key) {
+                    if let Some(prev) = self.disk.read(key) {
+                        self.charge(prev.weight() as i64 + key.weight() as i64);
+                        self.entries.insert(key.clone(), prev);
+                    }
+                }
                 let entry = self
                     .entries
                     .entry(key.clone())
@@ -624,6 +667,41 @@ mod tests {
         assert_eq!(b.get(&k1), a.get(&k1));
         assert_eq!(b.get(&k2), a.get(&k2));
         assert!(resident_b.load(Ordering::Relaxed) > 0);
+    }
+
+    #[test]
+    fn table_tags_round_trip() {
+        let all = [
+            Table::Object,
+            Table::Task,
+            Table::Function,
+            Table::Client,
+            Table::Actor,
+            Table::Checkpoint,
+            Table::Lineage,
+            Table::Event,
+        ];
+        for t in all {
+            assert_eq!(Table::from_tag(t.to_tag()), Some(t));
+        }
+        assert_eq!(Table::from_tag(200), None);
+    }
+
+    #[test]
+    fn list_append_after_flush_pulls_disk_version_back_in() {
+        let mut s = state();
+        let k = Key::new(Table::Event, vec![1]);
+        s.apply(&UpdateOp::ListAppend { key: k.clone(), item: Bytes::from_static(b"a") });
+        s.apply(&UpdateOp::Flush { table: Table::Event, keep_entries: 0 });
+        assert!(!s.entries.contains_key(&k), "flush should evict the list");
+        // Appending after the flush must not shadow the flushed items.
+        s.apply(&UpdateOp::ListAppend { key: k.clone(), item: Bytes::from_static(b"b") });
+        match s.get(&k) {
+            Some(Entry::List(l)) => {
+                assert_eq!(l, vec![Bytes::from_static(b"a"), Bytes::from_static(b"b")]);
+            }
+            other => panic!("expected list, got {other:?}"),
+        }
     }
 
     #[test]

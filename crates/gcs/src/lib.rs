@@ -26,6 +26,9 @@
 //! - [`tables`]: the typed client façade ([`tables::GcsClient`]) the rest
 //!   of the system uses: object table, task table, client (node) table,
 //!   actor table, function table, and event log.
+//! - [`check`]: a consistency checker that journals acknowledged lineage
+//!   writes and re-reads them after chaos, proving read-your-writes and
+//!   no-lost-lineage across reconfigurations and shard recoveries.
 //!
 //! # Examples
 //!
@@ -45,6 +48,7 @@
 //! ```
 
 pub mod chain;
+pub mod check;
 pub mod flush;
 pub mod kv;
 pub mod replica;
@@ -54,6 +58,7 @@ use std::sync::Arc;
 
 use ray_common::config::GcsConfig;
 use ray_common::metrics::MetricsRegistry;
+use ray_common::trace::TraceCollector;
 use ray_common::{RayResult, ShardId};
 
 use chain::Chain;
@@ -65,6 +70,7 @@ pub struct Gcs {
     shards: Arc<Vec<Chain>>,
     metrics: MetricsRegistry,
     flusher: Option<flush::Flusher>,
+    client_retry_limit: u32,
 }
 
 impl Gcs {
@@ -75,23 +81,35 @@ impl Gcs {
 
     /// Starts a GCS reporting into an existing metrics registry.
     pub fn start_with_metrics(cfg: &GcsConfig, metrics: MetricsRegistry) -> RayResult<Gcs> {
+        Gcs::start_traced(cfg, metrics, TraceCollector::disabled())
+    }
+
+    /// Starts a GCS that emits lifecycle trace events (replica crashes,
+    /// reconfigurations, shard recoveries, flushes) into `trace`.
+    pub fn start_traced(
+        cfg: &GcsConfig,
+        metrics: MetricsRegistry,
+        trace: TraceCollector,
+    ) -> RayResult<Gcs> {
         let mut shards = Vec::with_capacity(cfg.num_shards);
         for i in 0..cfg.num_shards {
-            shards.push(Chain::start(ShardId(i as u32), cfg, metrics.clone())?);
+            shards.push(Chain::start(ShardId(i as u32), cfg, metrics.clone(), trace.clone())?);
         }
         let shards = Arc::new(shards);
         let flusher = if cfg.flush_enabled {
-            Some(flush::Flusher::start(shards.clone(), cfg.clone()))
+            Some(flush::Flusher::start(shards.clone(), cfg.clone(), trace))
         } else {
             None
         };
-        Ok(Gcs { shards, metrics, flusher })
+        Ok(Gcs { shards, metrics, flusher, client_retry_limit: cfg.client_retry_limit })
     }
 
     /// Returns a cheap-clone typed client (reporting retries into this
     /// GCS's metrics registry).
     pub fn client(&self) -> GcsClient {
-        GcsClient::new(self.shards.clone()).with_metrics(self.metrics.clone())
+        GcsClient::new(self.shards.clone())
+            .with_metrics(self.metrics.clone())
+            .with_retry_limit(self.client_retry_limit)
     }
 
     /// Number of shards.
@@ -119,6 +137,48 @@ impl Gcs {
     /// The metrics registry this GCS reports into.
     pub fn metrics(&self) -> &MetricsRegistry {
         &self.metrics
+    }
+
+    /// Crashes every replica of one shard (chaos: whole-shard failure).
+    pub fn crash_shard(&self, id: ShardId) {
+        self.shards[id.0 as usize].crash_all();
+    }
+
+    /// Pauses the background flusher, if one is running (chaos fault).
+    pub fn stall_flusher(&self) {
+        if let Some(f) = &self.flusher {
+            f.stall();
+        }
+    }
+
+    /// Resumes a stalled flusher.
+    pub fn resume_flusher(&self) {
+        if let Some(f) = &self.flusher {
+            f.resume();
+        }
+    }
+
+    /// Whether the background flusher is currently stalled.
+    pub fn flusher_stalled(&self) -> bool {
+        self.flusher.as_ref().is_some_and(|f| f.is_stalled())
+    }
+
+    /// Synchronously flushes every shard's flushable tables down to `keep`
+    /// in-memory entries (tests pin durable state before injecting
+    /// crashes).
+    pub fn flush_all_to_disk(&self, keep: usize) -> RayResult<()> {
+        for c in self.shards.iter() {
+            c.flush_to_disk(keep)?;
+        }
+        Ok(())
+    }
+
+    /// Forces recovery of any shard whose chain is entirely dead (chaos
+    /// repair: a healed cluster must not end with a wedged shard).
+    pub fn heal_all(&self) {
+        for c in self.shards.iter() {
+            c.heal();
+        }
     }
 
     /// Stops the flusher and all replica threads.

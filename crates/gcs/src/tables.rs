@@ -132,12 +132,14 @@ pub struct GcsClient {
     shards: Arc<Vec<Chain>>,
     next_sub_id: Arc<AtomicU64>,
     metrics: MetricsRegistry,
+    retry_limit: u32,
 }
 
 /// Extra client-side attempts (beyond the chain's own internal retries)
 /// before a GCS operation's timeout is surfaced to the caller. Chain ops
 /// are idempotent (`Put`/`SetAdd`/`SetRemove`), so re-issuing is safe;
 /// `ListAppend` logs tolerate at-least-once delivery by sequence number.
+/// Overridden per deployment by `GcsConfig::client_retry_limit`.
 const GCS_RETRY_LIMIT: u32 = 3;
 
 impl GcsClient {
@@ -147,6 +149,7 @@ impl GcsClient {
             shards,
             next_sub_id: Arc::new(AtomicU64::new(1)),
             metrics: MetricsRegistry::new(),
+            retry_limit: GCS_RETRY_LIMIT,
         }
     }
 
@@ -156,19 +159,36 @@ impl GcsClient {
         self
     }
 
+    /// Overrides the client-side retry budget (`GcsConfig::client_retry_limit`).
+    pub fn with_retry_limit(mut self, limit: u32) -> GcsClient {
+        self.retry_limit = limit;
+        self
+    }
+
     fn shard_for(&self, key: &Key) -> &Chain {
         let digest = fnv1a_64(&key.id);
         &self.shards[(digest % self.shards.len() as u64) as usize]
     }
 
-    fn write(&self, key: Key, op: impl FnOnce(Key) -> UpdateOp) -> RayResult<()> {
-        let seed = fnv1a_64(&key.id);
-        let shard = self.shard_for(&key);
-        let op = op(key);
-        let mut backoff = Backoff::new(Duration::from_millis(2), Duration::from_millis(25), seed);
+    /// Whether a chain error is worth a client-side backoff-and-retry:
+    /// transient slowness ([`RayError::Timeout`]) or a shard mid-recovery
+    /// ([`RayError::GcsUnavailable`] — the chain rebuilds itself from the
+    /// disk log once its all-dead streak crosses the threshold, so waiting
+    /// out the recovery window usually succeeds).
+    fn is_retryable(e: &RayError) -> bool {
+        matches!(e, RayError::Timeout | RayError::GcsUnavailable(_))
+    }
+
+    /// Issues a fully-formed update with backoff-and-retry. All GCS writes
+    /// — including subscription ops, whose replays are deduplicated by
+    /// `sub_id` at the replicas — go through here.
+    fn write_op(&self, key: &Key, op: UpdateOp) -> RayResult<()> {
+        let shard = self.shard_for(key);
+        let mut backoff =
+            Backoff::new(Duration::from_millis(2), Duration::from_millis(25), fnv1a_64(&key.id));
         loop {
             match shard.write(op.clone()) {
-                Err(RayError::Timeout) if backoff.attempt() < GCS_RETRY_LIMIT => {
+                Err(e) if Self::is_retryable(&e) && backoff.attempt() < self.retry_limit => {
                     self.metrics.counter(names::GCS_RETRIES).inc();
                     std::thread::sleep(backoff.next_delay());
                 }
@@ -177,12 +197,17 @@ impl GcsClient {
         }
     }
 
+    fn write(&self, key: Key, op: impl FnOnce(Key) -> UpdateOp) -> RayResult<()> {
+        let op = op(key.clone());
+        self.write_op(&key, op)
+    }
+
     fn read(&self, key: &Key) -> RayResult<Option<Entry>> {
         let mut backoff =
             Backoff::new(Duration::from_millis(2), Duration::from_millis(25), fnv1a_64(&key.id));
         loop {
             match self.shard_for(key).read(key) {
-                Err(RayError::Timeout) if backoff.attempt() < GCS_RETRY_LIMIT => {
+                Err(e) if Self::is_retryable(&e) && backoff.attempt() < self.retry_limit => {
                     self.metrics.counter(names::GCS_RETRIES).inc();
                     std::thread::sleep(backoff.next_delay());
                 }
@@ -245,7 +270,7 @@ impl GcsClient {
         let key = Key::new(Table::Object, object.0.as_bytes().to_vec());
         let (tx, rx) = unbounded();
         let sub_id = self.next_sub_id.fetch_add(1, Ordering::Relaxed);
-        self.shard_for(&key).write(UpdateOp::Subscribe { key: key.clone(), sub_id, sender: tx })?;
+        self.write_op(&key, UpdateOp::Subscribe { key: key.clone(), sub_id, sender: tx })?;
         Ok(ObjectSubscription { client: self.clone(), key, sub_id, rx })
     }
 
@@ -259,14 +284,14 @@ impl GcsClient {
     ) -> RayResult<u64> {
         let key = Key::new(Table::Object, object.0.as_bytes().to_vec());
         let sub_id = self.next_sub_id.fetch_add(1, Ordering::Relaxed);
-        self.shard_for(&key).write(UpdateOp::Subscribe { key, sub_id, sender })?;
+        self.write_op(&key, UpdateOp::Subscribe { key: key.clone(), sub_id, sender })?;
         Ok(sub_id)
     }
 
     /// Removes a subscription created by [`Self::subscribe_object_shared`].
     pub fn unsubscribe_object(&self, object: ObjectId, sub_id: u64) -> RayResult<()> {
         let key = Key::new(Table::Object, object.0.as_bytes().to_vec());
-        self.shard_for(&key).write(UpdateOp::Unsubscribe { key, sub_id })
+        self.write_op(&key, UpdateOp::Unsubscribe { key: key.clone(), sub_id })
     }
 
     // ------------------------------------------------------------------
@@ -539,10 +564,10 @@ impl ObjectSubscription {
 
 impl Drop for ObjectSubscription {
     fn drop(&mut self) {
-        let _ = self.client.shard_for(&self.key).write(UpdateOp::Unsubscribe {
-            key: self.key.clone(),
-            sub_id: self.sub_id,
-        });
+        let _ = self.client.write_op(
+            &self.key,
+            UpdateOp::Unsubscribe { key: self.key.clone(), sub_id: self.sub_id },
+        );
     }
 }
 

@@ -139,7 +139,14 @@ impl TransferManager {
             if let Some(b) = local.get_local(id) {
                 return Ok(b);
             }
-            let locations = self.gcs.get_object_locations(id)?;
+            // A control-plane outage (shard mid-recovery) is transient from
+            // the fetch loop's perspective: try again next round until the
+            // fetch deadline, same as an object that has no locations yet.
+            let locations = match self.gcs.get_object_locations(id) {
+                Ok(locs) => locs,
+                Err(RayError::GcsUnavailable(_)) => Vec::new(),
+                Err(e) => return Err(e),
+            };
             let mut knew_of_replicas = false;
             let mut fetched: Option<(NodeId, Bytes)> = None;
             for loc in &locations {

@@ -21,7 +21,7 @@ use std::time::{Duration, Instant};
 use ray_common::sync::{classes, OrderedMutex};
 
 use ray_common::config::SchedulerPolicy;
-use ray_common::{NodeId, ObjectId, RayResult, Resources, TaskId};
+use ray_common::{NodeId, ObjectId, RayError, RayResult, Resources, TaskId};
 use ray_gcs::tables::GcsClient;
 
 use crate::load::LoadTable;
@@ -200,13 +200,14 @@ impl GlobalScheduler {
                 }
             }
         }
-        let locs: Vec<(NodeId, u64)> = self
-            .inner
-            .gcs
-            .get_object_locations(id)?
-            .into_iter()
-            .map(|l| (l.node, l.size))
-            .collect();
+        // A shard mid-recovery reads as "no known locations": placement
+        // degrades to load-only for a beat instead of failing the task.
+        let raw = match self.inner.gcs.get_object_locations(id) {
+            Ok(locs) => locs,
+            Err(RayError::GcsUnavailable(_)) => Vec::new(),
+            Err(e) => return Err(e),
+        };
+        let locs: Vec<(NodeId, u64)> = raw.into_iter().map(|l| (l.node, l.size)).collect();
         self.inner.location_cache.lock().insert(
             id,
             LocationCacheEntry { locations: locs.clone(), fetched: Instant::now() },

@@ -24,6 +24,12 @@ cargo test -q
 echo "== chaos suite =="
 cargo test -q --test chaos
 
+echo "== gcs chaos soak =="
+# Control-plane faults: shard loss + disk recovery, flusher stalls, and
+# seeded mixed schedules. The shard-loss scenario runs twice with the
+# same seed and asserts identical trace signatures (determinism gate).
+cargo test -q --test gcs_chaos
+
 echo "== trace smoke =="
 # A traced bench run must produce a Chrome trace with at least one task
 # span on every node; trace-check also validates the JSON end to end.

@@ -133,6 +133,7 @@ fn gcs_flushing_bounds_memory_during_workload() {
         flush_threshold_entries: 200,
         flush_interval: Duration::from_millis(5),
         op_delay: Duration::ZERO,
+        ..GcsConfig::default()
     };
     let cluster = Cluster::start(cfg).unwrap();
     cluster.register_fn0("nop", || 0u8);

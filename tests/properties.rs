@@ -174,7 +174,12 @@ proptest! {
         use ray_repro::common::metrics::MetricsRegistry;
 
         let cfg = GcsConfig { chain_length: chain_len, ..GcsConfig::default() };
-        let chain = Chain::start(ShardId(0), &cfg, MetricsRegistry::new()).unwrap();
+        let chain = Chain::start(
+            ShardId(0),
+            &cfg,
+            MetricsRegistry::new(),
+            ray_repro::common::trace::TraceCollector::disabled(),
+        ).unwrap();
         for (i, &v) in writes.iter().enumerate() {
             if crash_at.contains(&i) && chain.replica_count() > 0 {
                 // Crash a pseudo-random member.

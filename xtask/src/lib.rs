@@ -268,6 +268,7 @@ pub const EMISSION_PATH_FILES: &[&str] = &[
     "crates/core/src/global_loop.rs",
     "crates/object-store/src/transfer.rs",
     "crates/object-store/src/store.rs",
+    "crates/gcs/src/chain.rs",
 ];
 
 /// Flags direct `Instant::now(` calls in an emission-path file. Test
