@@ -159,6 +159,15 @@ pub struct SchedulerConfig {
     pub added_decision_delay: Duration,
     /// EWMA smoothing factor for task-duration and bandwidth estimates.
     pub ewma_alpha: f64,
+    /// Admission-control watermark: when a node's submit queue depth
+    /// (queued + in-flight-to-queue) reaches this many tasks, new
+    /// non-critical submissions are shed with `RayError::Overloaded`.
+    /// `None` disables admission control (the seed behaviour).
+    pub admission_watermark: Option<usize>,
+    /// Bounded-retry budget a submitting context spends on
+    /// `RayError::Overloaded` before surfacing it to the caller (mirrors
+    /// the GCS client retry pattern).
+    pub admission_retry_limit: u32,
 }
 
 impl Default for SchedulerConfig {
@@ -170,6 +179,8 @@ impl Default for SchedulerConfig {
             heartbeat_interval: Duration::from_millis(10),
             added_decision_delay: Duration::ZERO,
             ewma_alpha: 0.2,
+            admission_watermark: None,
+            admission_retry_limit: 5,
         }
     }
 }
@@ -314,6 +325,9 @@ impl RayConfig {
         }
         if !(self.scheduler.ewma_alpha > 0.0 && self.scheduler.ewma_alpha <= 1.0) {
             return Err("scheduler.ewma_alpha must be in (0, 1]".into());
+        }
+        if self.scheduler.admission_watermark == Some(0) {
+            return Err("scheduler.admission_watermark must be >= 1 when set".into());
         }
         if self.transport.connections_per_transfer == 0 {
             return Err("transport.connections_per_transfer must be >= 1".into());

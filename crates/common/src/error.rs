@@ -52,6 +52,17 @@ pub enum RayError {
     Invalid(String),
     /// An I/O error (GCS flushing, spill files).
     Io(String),
+    /// The task was cancelled (`ray.cancel` on its output, or a cancelled
+    /// parent propagating its token). The task's missing outputs are marked
+    /// cancelled in the GCS object table so lineage will not resurrect them.
+    Cancelled(TaskId),
+    /// The task's absolute deadline (set at submit, inherited by children)
+    /// expired before it produced its results.
+    DeadlineExceeded(TaskId),
+    /// Admission control shed the task: the node's submit queue was past its
+    /// configured watermark and the task was not marked critical. Transient —
+    /// callers retry with bounded backoff, like [`RayError::GcsUnavailable`].
+    Overloaded(NodeId),
 }
 
 impl fmt::Display for RayError {
@@ -80,6 +91,11 @@ impl fmt::Display for RayError {
             RayError::MessageDropped => write!(f, "message dropped on the wire"),
             RayError::Invalid(msg) => write!(f, "invalid argument: {msg}"),
             RayError::Io(msg) => write!(f, "io error: {msg}"),
+            RayError::Cancelled(task) => write!(f, "task {task} cancelled"),
+            RayError::DeadlineExceeded(task) => write!(f, "task {task} deadline exceeded"),
+            RayError::Overloaded(node) => {
+                write!(f, "node {node} overloaded: submit queue past admission watermark")
+            }
         }
     }
 }
@@ -117,6 +133,24 @@ mod tests {
         assert_eq!(RayError::Timeout, RayError::Timeout);
         assert_ne!(RayError::Timeout, RayError::Codec("x".into()));
         assert_ne!(RayError::GcsUnavailable(ShardId(0)), RayError::Timeout);
+    }
+
+    #[test]
+    fn cancellation_errors_name_the_task() {
+        let t = TaskId::random();
+        let msg = RayError::Cancelled(t).to_string();
+        assert!(msg.contains("cancelled"), "{msg}");
+        assert!(msg.contains(&format!("{t}")), "{msg}");
+        let msg = RayError::DeadlineExceeded(t).to_string();
+        assert!(msg.contains("deadline"), "{msg}");
+        assert_ne!(RayError::Cancelled(t), RayError::DeadlineExceeded(t));
+    }
+
+    #[test]
+    fn overloaded_names_the_node() {
+        let msg = RayError::Overloaded(NodeId(2)).to_string();
+        assert!(msg.contains("overloaded"), "{msg}");
+        assert!(msg.contains("N2"), "{msg}");
     }
 
     #[test]

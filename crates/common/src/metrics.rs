@@ -321,6 +321,12 @@ pub mod names {
     /// Histogram: lineage resubmission attempt number per claimed
     /// reconstruction (1 = first attempt).
     pub const RECONSTRUCTION_ATTEMPTS: &str = "reconstruction_attempts";
+    /// Tasks torn down by `ray.cancel` (any lifecycle stage).
+    pub const TASKS_CANCELLED: &str = "tasks_cancelled";
+    /// Tasks shed by admission control at submit.
+    pub const TASKS_SHED: &str = "tasks_shed";
+    /// Tasks torn down because their absolute deadline expired.
+    pub const DEADLINE_EXCEEDED: &str = "deadline_exceeded";
 }
 
 #[cfg(test)]

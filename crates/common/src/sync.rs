@@ -116,6 +116,8 @@ pub mod classes {
     pub static ACTOR_ROUTER: LockClass = LockClass::new("core.actors", 120);
     /// One shard of the inflight task table (16 instances, one class).
     pub static INFLIGHT_SHARD: LockClass = LockClass::new("core.inflight_shard", 130);
+    /// One shard of the cancellation registry (task → token + children).
+    pub static CANCEL_SHARD: LockClass = LockClass::new("core.cancel_shard", 135);
     /// Stalled-task resubmission ledger for lineage reconstruction.
     pub static STALLED_TASKS: LockClass = LockClass::new("core.stalled", 140);
     /// A node thread's join handle.

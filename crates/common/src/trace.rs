@@ -233,6 +233,16 @@ pub enum TraceEventKind {
     GcsShardRecovered,
     /// A GCS flush cycle moved cold entries to the shard's disk log.
     GcsFlush,
+    /// The task was torn down by `ray.cancel` (directly or via a cancelled
+    /// parent). Emitted exactly once, by whichever lifecycle stage dropped
+    /// it: local/global queue scan, pre-run check, or post-run teardown.
+    TaskCancelled,
+    /// The task's absolute deadline expired before it produced results.
+    TaskDeadlineExceeded,
+    /// Admission control shed the task at submit (queue past watermark).
+    TaskShed,
+    /// A cancel propagated from a parent task to a registered child.
+    CancelPropagated,
 }
 
 impl TraceEventKind {
@@ -266,6 +276,10 @@ impl TraceEventKind {
             GcsReconfigured => "gcs_reconfigured",
             GcsShardRecovered => "gcs_shard_recovered",
             GcsFlush => "gcs_flush",
+            TaskCancelled => "task_cancelled",
+            TaskDeadlineExceeded => "task_deadline_exceeded",
+            TaskShed => "task_shed",
+            CancelPropagated => "cancel_propagated",
         }
     }
 
@@ -291,6 +305,8 @@ impl TraceEventKind {
                 | DepsFetched
                 | GcsReconfigured
                 | GcsFlush
+                | TaskShed
+                | CancelPropagated
         )
     }
 }

@@ -244,6 +244,7 @@ impl ActorHost {
                     self.shared.clone(),
                     self.node,
                     spec.task,
+                    spec.deadline_micros,
                     None,
                 );
                 let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
@@ -360,7 +361,8 @@ pub(crate) fn spawn_actor_here(
     let arg_payloads: Vec<ray_codec::Blob> =
         args.iter().map(|b| ray_codec::Blob(b.to_vec())).collect();
     let ctor = shared.registry.actor_ctor(creation_spec.function)?;
-    let ctx = RayContext::for_task(shared.clone(), node, creation_spec.task, None);
+    let ctx =
+        RayContext::for_task(shared.clone(), node, creation_spec.task, creation_spec.deadline_micros, None);
     let instance = ctor(&ctx, &args)
         .map_err(|m| RayError::TaskFailed { task: creation_spec.task, message: m })?;
 
@@ -464,7 +466,9 @@ fn rebuild_actor_blocking(shared: &Arc<RuntimeShared>, actor: ActorId) -> RayRes
     let arg_payloads: Vec<ray_codec::Blob> =
         ray_codec::decode(&record.init_args.0).map_err(RayError::from)?;
     let args: Vec<Bytes> = arg_payloads.into_iter().map(|b| Bytes::from(b.0)).collect();
-    let ctx = RayContext::for_task(shared.clone(), node, record.creation_task, None);
+    // Rebuild replays with no deadline: the original creation deadline has
+    // long passed and must not expire the recovery itself.
+    let ctx = RayContext::for_task(shared.clone(), node, record.creation_task, None, None);
     let mut instance = ctor(&ctx, &args)
         .map_err(|m| RayError::TaskFailed { task: record.creation_task, message: m })?;
 

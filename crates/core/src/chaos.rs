@@ -45,6 +45,10 @@ pub enum ChaosAction {
     StallFlusher,
     /// Resume a stalled flusher.
     ResumeFlusher,
+    /// Straggler injection: every task starting on the node pays this much
+    /// extra latency before it begins executing. Repaired by
+    /// `DelayWorker(node, Duration::ZERO)`.
+    DelayWorker(NodeId, Duration),
 }
 
 /// A chaos action with its fire time, relative to [`ChaosSchedule::run`]'s
@@ -256,6 +260,7 @@ pub fn apply(cluster: &Cluster, action: ChaosAction) {
         }
         ChaosAction::StallFlusher => cluster.gcs().stall_flusher(),
         ChaosAction::ResumeFlusher => cluster.gcs().resume_flusher(),
+        ChaosAction::DelayWorker(n, d) => cluster.set_worker_delay(n, d),
     }
 }
 
@@ -271,6 +276,7 @@ pub fn repair(cluster: &Cluster, nodes: u32) {
     }
     for n in 0..nodes {
         let _ = cluster.restart_node(NodeId(n));
+        cluster.set_worker_delay(NodeId(n), Duration::ZERO);
     }
     cluster.gcs().resume_flusher();
     cluster.gcs().heal_all();
@@ -310,11 +316,13 @@ mod tests {
                     ChaosAction::Partition(v, _) | ChaosAction::Heal(v, _) => {
                         assert_ne!(v, NodeId(0), "seed {seed}")
                     }
-                    // Control-plane faults target shards, not nodes.
+                    // Control-plane faults target shards, not nodes, and
+                    // generated schedules never inject stragglers.
                     ChaosAction::CrashGcsReplica(..)
                     | ChaosAction::CrashGcsShard(_)
                     | ChaosAction::StallFlusher
-                    | ChaosAction::ResumeFlusher => {}
+                    | ChaosAction::ResumeFlusher
+                    | ChaosAction::DelayWorker(..) => {}
                 }
             }
         }

@@ -7,14 +7,15 @@
 //! to drive the fault-tolerance experiments (Fig. 10, Fig. 11).
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicIsize, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Duration;
 
 use crossbeam_channel::unbounded;
 use ray_common::sync::{classes, OrderedMutex, OrderedRwLock};
 
-use ray_common::metrics::MetricsRegistry;
+use ray_common::metrics::{names, MetricsRegistry};
 use ray_common::trace::{render_chrome_trace, TraceCollector, TraceLog};
 use ray_common::{NodeId, RayConfig, RayError, RayResult};
 use ray_gcs::Gcs;
@@ -24,6 +25,7 @@ use ray_scheduler::{GlobalScheduler, LoadTable};
 use ray_transport::Fabric;
 
 use crate::actor::ActorRouter;
+use crate::cancel::CancelRegistry;
 use crate::context::RayContext;
 use crate::failure;
 use crate::global_loop::start_global;
@@ -107,13 +109,23 @@ impl Cluster {
             global_tx,
             nodes: OrderedRwLock::new(&classes::RUNTIME_NODES, Vec::new()),
             queue_lens: (0..capacity).map(|_| AtomicUsize::new(0)).collect(),
+            queue_depth: (0..capacity).map(|_| AtomicIsize::new(0)).collect(),
+            worker_delays: (0..capacity).map(|_| AtomicU64::new(0)).collect(),
             inflight: InflightTable::new(),
+            cancels: CancelRegistry::new(),
             actors: ActorRouter::new(),
             stalled: OrderedMutex::new(&classes::STALLED_TASKS, HashMap::new()),
             topology: OrderedMutex::new(&classes::CLUSTER_TOPOLOGY, ()),
             shutting_down: AtomicBool::new(false),
             driver_counter: AtomicU64::new(1),
         });
+
+        // Register the cancellation/admission counters eagerly so the
+        // Prometheus exposition includes them from the first scrape, not
+        // only after the first teardown.
+        for name in [names::TASKS_CANCELLED, names::TASKS_SHED, names::DEADLINE_EXCEEDED] {
+            let _ = shared.metrics.counter(name);
+        }
 
         // Nodes beyond the initial set start dead (they are add_node
         // slots); mark them so transfers to unused slots fail fast.
@@ -415,6 +427,23 @@ impl Cluster {
             .get(node.index())
             .map(|q| q.load(Ordering::Relaxed))
             .unwrap_or(0)
+    }
+
+    /// Injects a per-task straggler delay on `node`: every task body that
+    /// starts there sleeps `delay` first, until cleared with
+    /// `Duration::ZERO` (the `DelayWorker` chaos action; `chaos::repair`
+    /// clears all delays).
+    pub fn set_worker_delay(&self, node: NodeId, delay: Duration) {
+        if let Some(slot) = self.shared.worker_delays.get(node.index()) {
+            slot.store(delay.as_micros() as u64, Ordering::Relaxed);
+        }
+    }
+
+    /// Cancels the task that produces `id` (and, transitively, its
+    /// registered descendants) — `ray.cancel` addressed by future. Returns
+    /// `Ok(false)` if no producer is known or it already completed.
+    pub fn cancel(&self, id: crate::ObjectId) -> RayResult<bool> {
+        self.driver().cancel(id)
     }
 
     /// Stops every component: nodes, actors, the global scheduler, and the

@@ -15,16 +15,17 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use bytes::Bytes;
 use crossbeam_channel::Sender;
 use serde::de::DeserializeOwned;
 use serde::Serialize;
 
+use ray_common::util::Backoff;
 use ray_common::{ActorId, FunctionId, NodeId, ObjectId, RayError, RayResult, TaskId};
 
-use crate::lineage::{ensure_object_at_deadline, DEFAULT_GET_DEADLINE};
+use crate::lineage::{ensure_object_at_deadline, Waiter, DEFAULT_GET_DEADLINE};
 use crate::runtime::{check_error_object, NodeMsg, RuntimeShared};
 use crate::task::{Arg, ObjectRef, TaskKind, TaskOptions, TaskSpec};
 
@@ -63,6 +64,10 @@ pub struct RayContext {
     shared: Arc<RuntimeShared>,
     node: NodeId,
     task: TaskId,
+    /// The enclosing task's absolute deadline (trace-clock micros), if
+    /// any. Children inherit it: a child's effective deadline is the
+    /// minimum of the parent's and its own `opts.timeout`.
+    deadline_micros: Option<u64>,
     child_counter: AtomicU64,
     put_counter: AtomicU64,
     worker_slot: Option<(Sender<NodeMsg>, usize)>,
@@ -73,12 +78,14 @@ impl RayContext {
         shared: Arc<RuntimeShared>,
         node: NodeId,
         task: TaskId,
+        deadline_micros: Option<u64>,
         worker_slot: Option<(Sender<NodeMsg>, usize)>,
     ) -> RayContext {
         RayContext {
             shared,
             node,
             task,
+            deadline_micros,
             child_counter: AtomicU64::new(0),
             put_counter: AtomicU64::new(0),
             worker_slot,
@@ -88,7 +95,7 @@ impl RayContext {
     pub(crate) fn for_driver(shared: Arc<RuntimeShared>, node: NodeId) -> RayContext {
         let n = shared.driver_counter.fetch_add(1, Ordering::Relaxed);
         let task = TaskId::for_child(TaskId::NIL, n);
-        RayContext::for_task(shared, node, task, None)
+        RayContext::for_task(shared, node, task, None, None)
     }
 
     /// The node this context runs on.
@@ -149,7 +156,8 @@ impl RayContext {
     /// `get` returning the raw payload.
     pub fn get_raw(&self, id: ObjectId, timeout: Duration) -> RayResult<Bytes> {
         let _guard = self.block_guard();
-        let data = ensure_object_at_deadline(&self.shared, id, self.node, timeout)?;
+        let waiter = Waiter { task: self.task, deadline_micros: self.deadline_micros };
+        let data = ensure_object_at_deadline(&self.shared, id, self.node, timeout, Some(waiter))?;
         if let Some(err) = check_error_object(&data) {
             return Err(err);
         }
@@ -198,7 +206,8 @@ impl RayContext {
         use ray_gcs::kv::Entry;
 
         let _guard = self.block_guard();
-        let deadline = Instant::now() + timeout;
+        let clock = self.shared.trace.clock();
+        let deadline = clock.now() + timeout;
         let mut pending: std::collections::HashSet<ObjectId> = ids.iter().copied().collect();
         // Duplicate ids collapse; cap the goal at the unique count.
         let want = num_ready.min(pending.len());
@@ -215,7 +224,7 @@ impl RayContext {
         }
 
         while ready.len() < want {
-            let remaining = deadline.saturating_duration_since(Instant::now());
+            let remaining = deadline.saturating_duration_since(clock.now());
             if remaining.is_zero() {
                 break;
             }
@@ -263,8 +272,10 @@ impl RayContext {
     // ------------------------------------------------------------------
 
     /// `f.remote(args)`: submits a task for the registered function
-    /// `name`, returning futures for its outputs. Non-blocking.
+    /// `name`, returning futures for its outputs. Non-blocking (admission
+    /// rejections are retried briefly with backoff; see [`Self::submit_spec`]).
     pub fn submit(&self, name: &str, args: Vec<Arg>, opts: TaskOptions) -> RayResult<Vec<ObjectId>> {
+        let deadline_micros = self.child_deadline(&opts);
         let spec = TaskSpec {
             task: self.next_child(),
             kind: TaskKind::Normal,
@@ -273,10 +284,88 @@ impl RayContext {
             args,
             num_returns: opts.num_returns.unwrap_or(1),
             demand: opts.demand,
+            deadline_micros,
+            critical: opts.critical,
         };
         let returns = spec.return_ids();
-        self.shared.submit(self.node, spec)?;
+        self.submit_spec(spec)?;
         Ok(returns)
+    }
+
+    /// The effective absolute deadline for a child task: the tighter of
+    /// the enclosing task's inherited deadline and `opts.timeout` counted
+    /// from now. `None` means unbounded.
+    fn child_deadline(&self, opts: &TaskOptions) -> Option<u64> {
+        match opts.timeout {
+            Some(t) => {
+                let own = self
+                    .shared
+                    .trace
+                    .clock()
+                    .now_micros()
+                    .saturating_add(t.as_micros().min(u128::from(u64::MAX)) as u64);
+                Some(self.deadline_micros.map_or(own, |parent| parent.min(own)))
+            }
+            None => self.deadline_micros,
+        }
+    }
+
+    /// Registers the child's cancel token (linked under this task, so a
+    /// parent cancel fans out), then submits, retrying admission
+    /// rejections with bounded jittered backoff — the same shape as the
+    /// GCS-unavailable retry, so transient overload doesn't surface to
+    /// well-behaved callers while sustained overload still does.
+    fn submit_spec(&self, spec: TaskSpec) -> RayResult<()> {
+        self.shared.cancels.ensure(spec.task);
+        self.shared.cancels.link(self.task, spec.task);
+        let mut backoff = Backoff::new(
+            Duration::from_micros(500),
+            Duration::from_millis(10),
+            spec.task.digest(),
+        );
+        let limit = self.shared.config.scheduler.admission_retry_limit;
+        loop {
+            match self.shared.submit(self.node, spec.clone()) {
+                Err(RayError::Overloaded(_)) if backoff.attempt() < limit => {
+                    std::thread::sleep(backoff.next_delay());
+                }
+                other => {
+                    if other.is_err() {
+                        // The task never entered the system; drop its
+                        // registry entry so shed submissions don't
+                        // accumulate tokens. (The stale child link in the
+                        // parent's entry is harmless by design.)
+                        self.shared.cancels.remove(spec.task);
+                    }
+                    return other;
+                }
+            }
+        }
+    }
+
+    /// `ray.cancel(future)`: requests cancellation of the task that
+    /// produces `id`, fanning out to every descendant submitted under it.
+    /// Returns `true` if this call newly cancelled the task, `false` if it
+    /// was already cancelled, already finished and forgotten, or `id` was
+    /// a `put` object (nothing to cancel).
+    pub fn cancel(&self, id: ObjectId) -> RayResult<bool> {
+        let Some(task) = self.shared.gcs_client.get_object_lineage(id)? else {
+            return Ok(false);
+        };
+        Ok(self.shared.cancel_task(task))
+    }
+
+    /// Typed wrapper over [`Self::cancel`].
+    pub fn cancel_ref<T>(&self, r: &ObjectRef<T>) -> RayResult<bool> {
+        self.cancel(r.id())
+    }
+
+    /// Whether the current task has been cancelled. Long-running task
+    /// bodies poll this to cooperate with `ray.cancel`: blocking `get`s
+    /// abort on their own, but compute loops only stop where they check.
+    /// Always `false` for drivers.
+    pub fn is_cancelled(&self) -> bool {
+        self.shared.cancels.is_cancelled(self.task)
     }
 
     /// Typed single-return submission.
@@ -312,6 +401,7 @@ impl RayContext {
     ) -> RayResult<ActorHandle> {
         let actor = ActorId::random();
         self.shared.actors.register_pending(actor);
+        let deadline_micros = self.child_deadline(&opts);
         let spec = TaskSpec {
             task: self.next_child(),
             kind: TaskKind::ActorCreation { actor },
@@ -320,9 +410,11 @@ impl RayContext {
             args,
             num_returns: 1,
             demand: opts.demand,
+            deadline_micros,
+            critical: opts.critical,
         };
         let creation = spec.return_ids()[0];
-        self.shared.submit(self.node, spec)?;
+        self.submit_spec(spec)?;
         Ok(ActorHandle { actor, creation })
     }
 
@@ -386,6 +478,10 @@ impl RayContext {
             args,
             num_returns,
             demand: ray_common::Resources::none(),
+            // Actor methods inherit the caller's deadline; they execute
+            // serially on the actor host, which checks it before running.
+            deadline_micros: self.deadline_micros,
+            critical: false,
         };
         let returns = spec.return_ids();
         self.shared.metrics.counter(ray_common::metrics::names::TASKS_SUBMITTED).inc();

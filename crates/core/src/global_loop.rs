@@ -93,6 +93,14 @@ fn try_place(
     spec: TaskSpec,
     from: NodeId,
 ) -> Option<(TaskSpec, NodeId)> {
+    // Cancelled or expired while waiting in the global queue: tear the
+    // task down instead of placing it. This is the global half of the
+    // "queued tasks are dropped, not run" guarantee; the local half is the
+    // dispatch-time scan in node.rs.
+    if let Some(cause) = shared.teardown_cause(&spec) {
+        shared.teardown(from, &spec, cause);
+        return None;
+    }
     let desc = TaskDescriptor {
         task: spec.task,
         demand: spec.demand.clone(),

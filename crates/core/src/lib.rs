@@ -49,6 +49,7 @@
 //! root for end-to-end recovery scenarios reproducing paper Fig. 11.
 
 pub mod actor;
+pub mod cancel;
 pub mod chaos;
 pub mod cluster;
 pub mod context;

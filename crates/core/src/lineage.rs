@@ -35,14 +35,25 @@ const FETCH_ROUND: Duration = Duration::from_millis(200);
 /// per attempt, so deep recoveries still finish.
 pub(crate) const DEFAULT_GET_DEADLINE: Duration = Duration::from_secs(60);
 
+/// Identity of the task (or driver context) blocked inside an `ensure`
+/// call. Each fetch round re-checks the waiter's cancel token and absolute
+/// deadline, so a blocked consumer unwinds promptly instead of riding out
+/// the full fetch deadline.
+#[derive(Clone, Copy)]
+pub(crate) struct Waiter {
+    pub task: TaskId,
+    pub deadline_micros: Option<u64>,
+}
+
 /// Makes `id` available in `node`'s local store, reconstructing through
 /// lineage if it has been lost. Returns the payload.
 pub(crate) fn ensure_object_at(
     shared: &Arc<RuntimeShared>,
     id: ObjectId,
     node: NodeId,
+    waiter: Option<Waiter>,
 ) -> RayResult<Bytes> {
-    ensure_object_at_deadline(shared, id, node, DEFAULT_GET_DEADLINE)
+    ensure_object_at_deadline(shared, id, node, DEFAULT_GET_DEADLINE, waiter)
 }
 
 /// [`ensure_object_at`] with an explicit deadline.
@@ -51,6 +62,7 @@ pub(crate) fn ensure_object_at_deadline(
     id: ObjectId,
     node: NodeId,
     deadline: Duration,
+    waiter: Option<Waiter>,
 ) -> RayResult<Bytes> {
     let clock = shared.trace.clock().clone();
     let overall = clock.now() + deadline;
@@ -60,7 +72,21 @@ pub(crate) fn ensure_object_at_deadline(
     // lifetime.
     let mut engaged: Option<TaskId> = None;
     loop {
-        let round = FETCH_ROUND.min(overall.saturating_duration_since(clock.now()));
+        let mut round = FETCH_ROUND.min(overall.saturating_duration_since(clock.now()));
+        if let Some(w) = waiter {
+            if shared.cancels.is_cancelled(w.task) {
+                return Err(RayError::Cancelled(w.task));
+            }
+            if let Some(d) = w.deadline_micros {
+                let now = clock.now_micros();
+                if now >= d {
+                    return Err(RayError::DeadlineExceeded(w.task));
+                }
+                // Cap the round so deadline expiry wakes the waiter
+                // promptly rather than after a full fetch window.
+                round = round.min(Duration::from_micros(d - now));
+            }
+        }
         if round.is_zero() {
             return Err(RayError::Timeout);
         }
@@ -140,6 +166,12 @@ fn reconstruct(shared: &Arc<RuntimeShared>, id: ObjectId) -> RayResult<Option<Ta
         .gcs_client
         .get_object_lineage(id)?
         .ok_or(RayError::ObjectLost(id))?; // `put` objects have no lineage.
+    // A cancelled task's outputs are marked in the GCS object table;
+    // lineage must never resurrect them, even after its typed error
+    // envelopes are lost with a node.
+    if shared.gcs_client.object_cancelled(id)? {
+        return Err(RayError::Cancelled(task));
+    }
     let spec_bytes = shared
         .gcs_client
         .get_task(task)?
@@ -192,6 +224,9 @@ fn maybe_reconstruct_stalled(shared: &Arc<RuntimeShared>, id: ObjectId) -> RayRe
     let Some(task) = shared.gcs_client.get_object_lineage(id)? else {
         return Ok(None); // Unknown producer: just keep waiting.
     };
+    if shared.gcs_client.object_cancelled(id)? {
+        return Err(RayError::Cancelled(task));
+    }
     if shared.task_running_on_live_node(task) {
         return Ok(None);
     }

@@ -67,6 +67,9 @@ pub(crate) fn start_node(shared: &Arc<RuntimeShared>, node: NodeId) -> Arc<NodeH
     // matter when a crashed node restarts before the failure detector
     // declared it dead.
     shared.inflight.remove_node(node);
+    // The previous incarnation's queue died with it: reset the admission
+    // depth so the fresh node doesn't start life "overloaded".
+    shared.queue_depth[node.index()].store(0, Ordering::Relaxed);
     crate::actor::recover_actors_on(shared, node);
     shared.load.heartbeat(NodeLoad {
         node,
@@ -172,6 +175,7 @@ fn scheduler_loop(
                     // Capacity can never satisfy this task here (stale
                     // placement after a reconfiguration): bounce to the
                     // global scheduler rather than wedging the queue.
+                    shared.queue_depth[node.index()].fetch_sub(1, Ordering::Relaxed);
                     let _ = shared.global_tx.send(GlobalMsg::Forward(spec, node));
                 } else {
                     ready.push_back((spec, clock.now()));
@@ -270,6 +274,17 @@ fn dispatch(
     pool: &mut Pool,
     queue_wait: &ray_common::metrics::Histogram,
 ) {
+    // Drop queued tasks whose cancel token fired or whose deadline passed
+    // before they ever reached a worker: the teardown marks their outputs
+    // cancelled and wakes consumers, and the task never emits `running`.
+    ready.retain(|(spec, _)| match shared.teardown_cause(spec) {
+        Some(cause) => {
+            shared.teardown(node, spec, cause);
+            shared.queue_depth[node.index()].fetch_sub(1, Ordering::Relaxed);
+            false
+        }
+        None => true,
+    });
     loop {
         // Find the first task (within a bounded scan) whose resources are
         // available right now.
@@ -288,6 +303,7 @@ fn dispatch(
             Some(w) => {
                 let waited = shared.trace.clock().now().duration_since(enqueued);
                 queue_wait.observe(waited.as_micros() as u64);
+                shared.queue_depth[node.index()].fetch_sub(1, Ordering::Relaxed);
                 if pool.workers[w].tx.send(WorkerMsg::Run(spec)).is_err() {
                     // Worker died (shutdown race); put resources back.
                     ledger.release(&demand);

@@ -11,7 +11,7 @@
 //! scheduler or forward to the global scheduler (paper Fig. 6).
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicIsize, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Instant;
@@ -31,6 +31,7 @@ use ray_scheduler::{decide_local_reason, GlobalScheduler, LoadTable, LocalDecisi
 use ray_transport::Fabric;
 
 use crate::actor::ActorRouter;
+use crate::cancel::{CancelReason, CancelRegistry};
 use crate::registry::FunctionRegistry;
 use crate::task::{TaskKind, TaskSpec};
 
@@ -153,7 +154,18 @@ pub struct RuntimeShared {
     pub(crate) global_tx: Sender<GlobalMsg>,
     pub(crate) nodes: OrderedRwLock<Vec<Option<Arc<NodeHandle>>>>,
     pub(crate) queue_lens: Vec<AtomicUsize>,
+    /// Per-node admission depth: tasks accepted for a node's local queue
+    /// that have not yet been handed to a worker (or dropped). Unlike
+    /// `queue_lens` — which the scheduler loop publishes once per tick —
+    /// this counts synchronously at the submit edge, so a burst can't
+    /// outrun the watermark between ticks.
+    pub(crate) queue_depth: Vec<AtomicIsize>,
+    /// Per-node straggler injection: extra microseconds a worker sleeps
+    /// before each task body (the `DelayWorker` chaos action).
+    pub(crate) worker_delays: Vec<AtomicU64>,
     pub(crate) inflight: InflightTable,
+    /// Cancellation tokens and parent→child links for live tasks.
+    pub(crate) cancels: CancelRegistry,
     pub(crate) actors: ActorRouter,
     /// Per-task resubmission backoff for stalled producers (dedups the
     /// many consumers that time out on the same missing object at once).
@@ -205,13 +217,42 @@ impl RuntimeShared {
         Ok(())
     }
 
-    /// The bottom-up submission entry point: lineage, local decision, then
-    /// enqueue-or-forward (paper Fig. 6).
+    /// Admission control: sheds a non-critical submission when the target
+    /// node's submit queue is at or past the configured watermark.
+    fn admit(&self, from: NodeId, spec: &TaskSpec) -> RayResult<()> {
+        let Some(watermark) = self.config.scheduler.admission_watermark else {
+            return Ok(());
+        };
+        if spec.critical {
+            return Ok(());
+        }
+        let Some(handle) = self.any_live_node(from) else {
+            return Ok(()); // dispatch will surface the shutdown error
+        };
+        let node = handle.node;
+        let depth = self.queue_depth[node.index()].load(Ordering::Relaxed);
+        if depth < watermark as isize {
+            return Ok(());
+        }
+        self.metrics.counter(names::TASKS_SHED).inc();
+        self.trace.emit(
+            node,
+            TraceEventKind::TaskShed,
+            TraceEntity::Task(spec.task),
+            format!("depth={depth} watermark={watermark}"),
+        );
+        Err(RayError::Overloaded(node))
+    }
+
+    /// The bottom-up submission entry point: admission, lineage, local
+    /// decision, then enqueue-or-forward (paper Fig. 6).
     pub(crate) fn submit(&self, from: NodeId, spec: TaskSpec) -> RayResult<()> {
         debug_assert!(
             !matches!(spec.kind, TaskKind::ActorMethod { .. }),
             "actor methods route through the actor router, not the scheduler"
         );
+        self.admit(from, &spec)?;
+        self.cancels.ensure(spec.task);
         self.metrics.counter(names::TASKS_SUBMITTED).inc();
         self.trace.emit(
             from,
@@ -224,8 +265,12 @@ impl RuntimeShared {
     }
 
     /// Re-submission path used by lineage reconstruction (lineage is
-    /// already recorded; do not double-write it).
-    pub(crate) fn resubmit(&self, from: NodeId, spec: TaskSpec) -> RayResult<()> {
+    /// already recorded; do not double-write it). Resubmissions are always
+    /// critical — shedding a reconstruction would livelock its consumers —
+    /// and get a fresh cancel token so `ray.cancel` can still find them.
+    pub(crate) fn resubmit(&self, from: NodeId, mut spec: TaskSpec) -> RayResult<()> {
+        spec.critical = true;
+        self.cancels.ensure(spec.task);
         self.metrics.counter(names::TASKS_REEXECUTED).inc();
         self.trace.emit(
             from,
@@ -259,10 +304,11 @@ impl RuntimeShared {
                     reason.label(),
                 );
                 self.inflight.insert(spec.task, node);
-                handle
-                    .tx
-                    .send(NodeMsg::Submit(spec))
-                    .map_err(|_| RayError::NodeDead(node))?;
+                self.queue_depth[node.index()].fetch_add(1, Ordering::Relaxed);
+                handle.tx.send(NodeMsg::Submit(spec)).map_err(|_| {
+                    self.queue_depth[node.index()].fetch_sub(1, Ordering::Relaxed);
+                    RayError::NodeDead(node)
+                })?;
             }
             LocalDecision::Forward => {
                 self.metrics.counter(names::TASKS_SPILLED).inc();
@@ -285,7 +331,11 @@ impl RuntimeShared {
     pub(crate) fn place_on(&self, node: NodeId, spec: TaskSpec) -> RayResult<()> {
         let handle = self.node(node).ok_or(RayError::NodeDead(node))?;
         self.inflight.insert(spec.task, node);
-        handle.tx.send(NodeMsg::Placed(spec)).map_err(|_| RayError::NodeDead(node))
+        self.queue_depth[node.index()].fetch_add(1, Ordering::Relaxed);
+        handle.tx.send(NodeMsg::Placed(spec)).map_err(|_| {
+            self.queue_depth[node.index()].fetch_sub(1, Ordering::Relaxed);
+            RayError::NodeDead(node)
+        })
     }
 
     /// Whether the producer of a task is believed to still be running on a
@@ -334,6 +384,101 @@ impl RuntimeShared {
     pub fn metrics(&self) -> &MetricsRegistry {
         &self.metrics
     }
+
+    /// Why `spec` should be torn down right now, if at all: its cancel
+    /// token fired, or its absolute deadline passed. Cancellation wins
+    /// when both hold (the recorded reason is more specific).
+    pub(crate) fn teardown_cause(&self, spec: &TaskSpec) -> Option<TeardownCause> {
+        if let Some(token) = self.cancels.token_of(spec.task) {
+            if let Some(reason) = token.reason() {
+                return Some(TeardownCause::Cancelled(reason));
+            }
+        }
+        if let Some(deadline) = spec.deadline_micros {
+            if self.trace.clock().now_micros() >= deadline {
+                return Some(TeardownCause::DeadlineExceeded);
+            }
+        }
+        None
+    }
+
+    /// Tears a task down at whatever stage it reached: emits the teardown
+    /// trace event and counter, durably marks the task's outputs
+    /// `Cancelled` in the GCS object table (so lineage reconstruction
+    /// refuses to resurrect them), then stores typed error envelopes so
+    /// every waiter blocked on the outputs wakes with
+    /// [`RayError::Cancelled`] / [`RayError::DeadlineExceeded`] instead of
+    /// timing out.
+    pub(crate) fn teardown(&self, node: NodeId, spec: &TaskSpec, cause: TeardownCause) {
+        let (kind, counter, msg, detail) = match cause {
+            TeardownCause::Cancelled(reason) => (
+                TraceEventKind::TaskCancelled,
+                names::TASKS_CANCELLED,
+                CANCELLED_ENVELOPE,
+                format!("reason={}", reason.label()),
+            ),
+            TeardownCause::DeadlineExceeded => (
+                TraceEventKind::TaskDeadlineExceeded,
+                names::DEADLINE_EXCEEDED,
+                DEADLINE_ENVELOPE,
+                format!("deadline_us={}", spec.deadline_micros.unwrap_or(0)),
+            ),
+        };
+        self.metrics.counter(counter).inc();
+        self.trace.emit(node, kind, TraceEntity::Task(spec.task), detail);
+        // Durable gate first: once marked, a lost envelope cannot be
+        // "reconstructed" back into running the task.
+        for id in spec.return_ids() {
+            let _ = self.gcs_client.mark_object_cancelled(id);
+        }
+        let envelopes =
+            spec.return_ids().iter().map(|_| encode_error_object(spec.task, msg)).collect();
+        if self.store_results(node, spec, envelopes).is_err() {
+            // No store reachable for the envelope: drop any local waiters
+            // outright so the registrations don't leak; remote consumers
+            // fall back to the GCS cancelled mark when their fetch times
+            // out.
+            if let Some(handle) = self.any_live_node(node) {
+                for id in spec.return_ids() {
+                    handle.store.drop_waiters(id);
+                }
+            }
+        }
+        self.inflight.remove(spec.task);
+        self.cancels.remove(spec.task);
+    }
+
+    /// `ray.cancel` entry point: cancels `task` and propagates to every
+    /// registered descendant. Queued occurrences are dropped by the next
+    /// scheduler-queue scan; running occurrences observe the token at
+    /// their next fetch round or completion. Returns `false` if the task
+    /// already completed (or was never scheduled here).
+    pub(crate) fn cancel_task(&self, task: TaskId) -> bool {
+        match self.cancels.cancel(task, CancelReason::User) {
+            None => false,
+            Some(children) => {
+                let node = self.inflight.node_of(task).unwrap_or(NodeId(0));
+                for child in children {
+                    let child_node = self.inflight.node_of(child).unwrap_or(node);
+                    self.trace.emit(
+                        child_node,
+                        TraceEventKind::CancelPropagated,
+                        TraceEntity::Task(child),
+                        format!("from={task}"),
+                    );
+                }
+                true
+            }
+        }
+    }
+}
+
+/// Why a task is being torn down (drives the trace kind, counter, and
+/// envelope type in [`RuntimeShared::teardown`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum TeardownCause {
+    Cancelled(CancelReason),
+    DeadlineExceeded,
 }
 
 /// Builds the error-envelope payload stored as a failed task's result, so
@@ -354,13 +499,24 @@ pub(crate) fn check_error_object(data: &Bytes) -> Option<RayError> {
     }
     let mut id = [0u8; 16];
     id.copy_from_slice(&data[ERROR_MAGIC.len()..ERROR_MAGIC.len() + 16]);
+    let task = TaskId::from_bytes(id);
     let message = String::from_utf8_lossy(&data[ERROR_MAGIC.len() + 16..]).into_owned();
-    Some(RayError::TaskFailed { task: TaskId::from_bytes(id), message })
+    Some(match message.as_str() {
+        CANCELLED_ENVELOPE => RayError::Cancelled(task),
+        DEADLINE_ENVELOPE => RayError::DeadlineExceeded(task),
+        _ => RayError::TaskFailed { task, message },
+    })
 }
 
 /// Magic prefix marking error envelopes. Sixteen fixed bytes make an
 /// accidental collision with user payloads vanishingly unlikely.
 const ERROR_MAGIC: &[u8; 16] = b"\x00RAY-TASK-ERR\xff\xfe\xfd";
+
+/// Envelope messages that decode to typed errors instead of
+/// [`RayError::TaskFailed`]: the cancellation teardown stores these so a
+/// consumer's `get` surfaces what actually happened to the producer.
+const CANCELLED_ENVELOPE: &str = "__rustray_cancelled__";
+const DEADLINE_ENVELOPE: &str = "__rustray_deadline_exceeded__";
 
 #[cfg(test)]
 mod tests {
@@ -407,6 +563,15 @@ mod tests {
             }
             other => panic!("expected TaskFailed, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn teardown_envelopes_decode_to_typed_errors() {
+        let task = TaskId::random();
+        let cancelled = encode_error_object(task, CANCELLED_ENVELOPE);
+        assert_eq!(check_error_object(&cancelled), Some(RayError::Cancelled(task)));
+        let expired = encode_error_object(task, DEADLINE_ENVELOPE);
+        assert_eq!(check_error_object(&expired), Some(RayError::DeadlineExceeded(task)));
     }
 
     #[test]

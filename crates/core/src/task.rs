@@ -97,6 +97,18 @@ pub struct TaskSpec {
     pub num_returns: u64,
     /// Resource demand (paper §3.1: `@ray.remote(num_gpus=...)`).
     pub demand: Resources,
+    /// Absolute deadline on the cluster trace clock, in microseconds since
+    /// the clock epoch. Children inherit `min(parent, own)`; every
+    /// lifecycle stage may expire the task against it. `None` = no
+    /// deadline. Serialized with the spec, so a lineage re-execution of an
+    /// expired task expires too instead of resurrecting stale work.
+    #[serde(default)]
+    pub deadline_micros: Option<u64>,
+    /// Critical tasks bypass admission-control shedding (and lineage
+    /// resubmissions are always critical — reconstruction must not be
+    /// load-shed into a livelock).
+    #[serde(default)]
+    pub critical: bool,
 }
 
 impl TaskSpec {
@@ -188,6 +200,12 @@ pub struct TaskOptions {
     pub demand: Resources,
     /// Number of return objects (defaults to 1).
     pub num_returns: Option<u64>,
+    /// Relative deadline: the task (and, transitively, its children) must
+    /// finish within this much time of submission. Combined with any
+    /// inherited parent deadline by taking the earlier of the two.
+    pub timeout: Option<std::time::Duration>,
+    /// Exempt from admission-control shedding.
+    pub critical: bool,
 }
 
 impl TaskOptions {
@@ -212,6 +230,20 @@ impl TaskOptions {
         self.demand = r;
         self
     }
+
+    /// Sets a relative deadline: the task and its descendants expire this
+    /// long after submission (absolute deadlines propagate, so a child
+    /// inherits whatever budget the parent has left).
+    pub fn with_timeout(mut self, timeout: std::time::Duration) -> TaskOptions {
+        self.timeout = Some(timeout);
+        self
+    }
+
+    /// Marks the task critical: admission control never sheds it.
+    pub fn critical(mut self) -> TaskOptions {
+        self.critical = true;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -231,6 +263,8 @@ mod tests {
             ],
             num_returns: 2,
             demand: Resources::cpus(1.0),
+            deadline_micros: None,
+            critical: false,
         }
     }
 
@@ -285,5 +319,18 @@ mod tests {
         let o = TaskOptions::gpus(2.0).returns(3);
         assert_eq!(o.demand.gpu(), 2.0);
         assert_eq!(o.num_returns, Some(3));
+        let o = TaskOptions::default()
+            .with_timeout(std::time::Duration::from_millis(50))
+            .critical();
+        assert_eq!(o.timeout, Some(std::time::Duration::from_millis(50)));
+        assert!(o.critical);
+    }
+
+    #[test]
+    fn deadline_and_criticality_survive_the_codec() {
+        let mut s = spec();
+        s.deadline_micros = Some(123_456_789);
+        s.critical = true;
+        assert_eq!(TaskSpec::decode(&s.encode().unwrap()).unwrap(), s);
     }
 }

@@ -20,7 +20,7 @@ use ray_common::{NodeId, RayResult};
 
 use crate::actor;
 use crate::context::RayContext;
-use crate::lineage::ensure_object_at;
+use crate::lineage::{ensure_object_at, Waiter};
 use crate::runtime::{encode_error_object, NodeMsg, RuntimeShared};
 use crate::task::{Arg, TaskKind, TaskSpec};
 
@@ -100,7 +100,8 @@ pub(crate) fn resolve_args(
             Arg::Value(v) => resolved.push(Bytes::copy_from_slice(&v.0)),
             Arg::ObjectRef(id) => {
                 let blocked = notify_blocked(worker_slot);
-                let data = ensure_object_at(shared, *id, node);
+                let waiter = Waiter { task: spec.task, deadline_micros: spec.deadline_micros };
+                let data = ensure_object_at(shared, *id, node, Some(waiter));
                 drop(blocked);
                 let data = data?;
                 if let Some(err) = crate::runtime::check_error_object(&data) {
@@ -140,7 +141,28 @@ pub(crate) fn execute_task(
     worker_slot: Option<(Sender<NodeMsg>, usize)>,
     spec: &TaskSpec,
 ) {
+    // Chaos straggler injection (`DelayWorker`): pay the configured extra
+    // latency before touching the task at all.
+    let delay_us = shared.worker_delays[node.index()].load(std::sync::atomic::Ordering::Relaxed);
+    if delay_us > 0 {
+        std::thread::sleep(std::time::Duration::from_micros(delay_us));
+    }
+    // A task cancelled (or expired) after dispatch but before execution
+    // must tear down without ever emitting `running`.
+    if let Some(cause) = shared.teardown_cause(spec) {
+        shared.teardown(node, spec, cause);
+        return;
+    }
     let outcome = run_task_body(shared, node, worker_slot.as_ref(), spec);
+    // Cancellation or deadline expiry observed mid-run (a blocking fetch
+    // returns the typed error, or the body simply outlived its deadline):
+    // whatever the body produced is discarded in favor of typed teardown
+    // envelopes, and the worker slot is freed by the normal `WorkerDone`
+    // path on return.
+    if let Some(cause) = shared.teardown_cause(spec) {
+        shared.teardown(node, spec, cause);
+        return;
+    }
     let outputs = match outcome {
         Ok(outputs) => {
             if outputs.len() != spec.num_returns as usize {
@@ -196,7 +218,13 @@ fn run_task_body(
             let args = resolve_args(shared, node, worker_slot, spec).map_err(|e| e.to_string())?;
             shared.trace.emit(node, TraceEventKind::DepsFetched, TraceEntity::Task(spec.task), "");
             shared.trace.emit(node, TraceEventKind::Running, TraceEntity::Task(spec.task), "");
-            let ctx = RayContext::for_task(shared.clone(), node, spec.task, worker_slot.cloned());
+            let ctx = RayContext::for_task(
+                shared.clone(),
+                node,
+                spec.task,
+                spec.deadline_micros,
+                worker_slot.cloned(),
+            );
             let result = std::panic::catch_unwind(AssertUnwindSafe(|| f(&ctx, &args)));
             match result {
                 Ok(r) => r,

@@ -54,6 +54,11 @@ impl ObjectLocation {
     }
 }
 
+/// Sentinel member in an object's location set marking the object as
+/// cancelled. 13 bytes long, so [`ObjectLocation::from_member`] (which
+/// requires exactly 12) can never confuse it with a real replica.
+const CANCELLED_MEMBER: &[u8] = b"__CANCELLED__";
+
 /// Node-membership record (client table).
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ClientRecord {
@@ -260,6 +265,27 @@ impl GcsClient {
                 .filter_map(|m| ObjectLocation::from_member(m))
                 .collect()),
             Some(_) | None => Ok(Vec::new()),
+        }
+    }
+
+    /// Marks `object` as cancelled: its producer was torn down and the
+    /// object will never be (re)materialized. Stored as a sentinel member
+    /// in the object's location set — [`ObjectLocation::from_member`]
+    /// rejects it by length, so location readers never see it, and it
+    /// survives chain failover like any other object-table write. Lineage
+    /// reconstruction consults this before resubmitting a producer.
+    pub fn mark_object_cancelled(&self, object: ObjectId) -> RayResult<()> {
+        let key = Key::new(Table::Object, object.0.as_bytes().to_vec());
+        self.write(key, |key| UpdateOp::SetAdd { key, member: CANCELLED_MEMBER.to_vec() })
+    }
+
+    /// Whether `object` has been marked cancelled by
+    /// [`Self::mark_object_cancelled`].
+    pub fn object_cancelled(&self, object: ObjectId) -> RayResult<bool> {
+        let key = Key::new(Table::Object, object.0.as_bytes().to_vec());
+        match self.read(&key)? {
+            Some(Entry::Set(members)) => Ok(members.iter().any(|m| m == CANCELLED_MEMBER)),
+            Some(_) | None => Ok(false),
         }
     }
 
@@ -611,6 +637,20 @@ mod tests {
     fn unknown_object_has_no_locations() {
         let (_gcs, c) = client();
         assert!(c.get_object_locations(ObjectId::random()).unwrap().is_empty());
+    }
+
+    #[test]
+    fn cancelled_mark_is_invisible_to_location_readers() {
+        let (_gcs, c) = client();
+        let id = ObjectId::random();
+        assert!(!c.object_cancelled(id).unwrap());
+        c.mark_object_cancelled(id).unwrap();
+        assert!(c.object_cancelled(id).unwrap());
+        // The sentinel shares the location set but never parses as a replica.
+        assert!(c.get_object_locations(id).unwrap().is_empty());
+        c.add_object_location(id, NodeId(1), 64).unwrap();
+        assert_eq!(c.get_object_locations(id).unwrap().len(), 1);
+        assert!(c.object_cancelled(id).unwrap());
     }
 
     #[test]

@@ -278,11 +278,28 @@ impl LocalObjectStore {
         map.waiters.entry(id).or_default().push(tx);
     }
 
+    /// Drops every waiter registered for `id` without firing it. Used when
+    /// the object will never materialize here — its producer was cancelled,
+    /// or the object was deleted — so registrations don't leak. Returns the
+    /// number of waiters dropped.
+    pub fn drop_waiters(&self, id: ObjectId) -> usize {
+        self.map.lock().waiters.remove(&id).map_or(0, |ws| ws.len())
+    }
+
+    /// Number of waiters currently registered for `id` (diagnostics,
+    /// leak-regression tests).
+    pub fn waiter_count(&self, id: ObjectId) -> usize {
+        self.map.lock().waiters.get(&id).map_or(0, |ws| ws.len())
+    }
+
     /// Removes one object from memory and spill (explicit `free` of
     /// consumed intermediates, lineage-reconstruction resets, tests).
+    /// Waiters registered for the object are dropped, not fired: their
+    /// channel disconnects, which a blocked receiver observes as an error.
     pub fn delete(&self, id: ObjectId) -> bool {
         let from_memory = {
             let mut map = self.map.lock();
+            map.waiters.remove(&id);
             if let Some(slot) = map.objects.remove(&id) {
                 map.resident_bytes -= slot.data.len();
                 map.lru.remove(&slot.access_seq);
@@ -562,6 +579,34 @@ mod tests {
         assert!(rx2.try_recv().is_err());
         s.put(future, Bytes::from_static(b"later")).unwrap();
         assert_eq!(rx2.recv_timeout(Duration::from_secs(1)).unwrap(), Bytes::from_static(b"later"));
+    }
+
+    // Regression: waiters for objects that are deleted (or whose producer
+    // is cancelled and will never put) used to sit in the waiter map
+    // forever. Deregistration must drop them and disconnect the channel.
+    #[test]
+    fn waiters_for_dead_objects_are_deregistered() {
+        let s = store(1024, true);
+        let never = ObjectId::random();
+        let (tx, rx) = crossbeam_channel::unbounded();
+        s.notify_on_local(never, tx);
+        assert_eq!(s.waiter_count(never), 1);
+
+        // Explicit deregistration (cancelled producer).
+        assert_eq!(s.drop_waiters(never), 1);
+        assert_eq!(s.waiter_count(never), 0);
+        assert_eq!(rx.try_recv().unwrap_err(), crossbeam_channel::TryRecvError::Disconnected);
+
+        // Deleting an object drops its waiters too.
+        let doomed = ObjectId::random();
+        s.put(doomed, Bytes::from_static(b"x")).unwrap();
+        s.delete(doomed);
+        let (tx2, rx2) = crossbeam_channel::unbounded();
+        s.notify_on_local(doomed, tx2);
+        assert_eq!(s.waiter_count(doomed), 1);
+        s.delete(doomed);
+        assert_eq!(s.waiter_count(doomed), 0);
+        assert_eq!(rx2.try_recv().unwrap_err(), crossbeam_channel::TryRecvError::Disconnected);
     }
 
     #[test]

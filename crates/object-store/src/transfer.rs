@@ -198,11 +198,19 @@ impl TransferManager {
 
             if knew_of_replicas {
                 // Locations existed but none were reachable/held the bytes:
-                // give failure detection a beat, then decide.
+                // give failure detection a beat, then decide. Instead of a
+                // blind sleep, park on the local store's sealed condvar for
+                // a bounded window — a concurrent fetch or local production
+                // satisfies the wait immediately, and a timeout just means
+                // it's time to re-examine replica liveness.
                 if clock.now() >= deadline {
                     return Err(RayError::ObjectLost(id));
                 }
-                std::thread::sleep(Duration::from_millis(1));
+                let window = Duration::from_millis(1)
+                    .min(deadline.saturating_duration_since(clock.now()));
+                if let Ok(b) = local.wait_local(id, window) {
+                    return Ok(b);
+                }
                 // Re-check: if every recorded replica is on a dead node the
                 // object is lost and only lineage can bring it back.
                 let locs = self.gcs.get_object_locations(id)?;

@@ -30,6 +30,13 @@ echo "== gcs chaos soak =="
 # same seed and asserts identical trace signatures (determinism gate).
 cargo test -q --test gcs_chaos
 
+echo "== cancel chaos soak =="
+# Cancellation, deadline propagation, and admission control under load:
+# cancel mid-queue / mid-run, a deadline cascading through a child chain,
+# shed-under-burst drain, and a same-seed trace-signature determinism
+# gate over a mixed kill + straggler + cancel schedule.
+cargo test -q --test cancel_chaos
+
 echo "== trace smoke =="
 # A traced bench run must produce a Chrome trace with at least one task
 # span on every node; trace-check also validates the JSON end to end.

@@ -152,6 +152,44 @@ proptest! {
             prop_assert_eq!(got.as_ref(), Some(data));
         }
     }
+
+    #[test]
+    fn store_churn_with_promotions_keeps_invariants(
+        sizes in prop::collection::vec(1usize..256, 4..48),
+        reads in prop::collection::vec(any::<prop::sample::Index>(), 0..48),
+        capacity in 256usize..1024,
+    ) {
+        use ray_repro::common::config::ObjectStoreConfig;
+        use ray_repro::common::{NodeId, ObjectId};
+        use ray_repro::object_store::store::LocalObjectStore;
+
+        let store = LocalObjectStore::new(
+            NodeId(1),
+            &ObjectStoreConfig { capacity_bytes: capacity, spill_enabled: true },
+        );
+        // Hammer `put` far past capacity while interleaving reads: a read
+        // that hits the spill tier is promoted back to memory, which may
+        // evict *other* residents — the accounting and recoverability
+        // invariants must survive that churn, not just a pure put storm.
+        let mut inserted = Vec::new();
+        let mut reads = reads.into_iter();
+        for (i, &size) in sizes.iter().enumerate() {
+            let id = ObjectId::random();
+            let data = bytes::Bytes::from(vec![(i % 199) as u8; size]);
+            store.put(id, data.clone()).unwrap();
+            inserted.push((id, data));
+            prop_assert!(store.resident_bytes() <= capacity);
+            if let Some(ix) = reads.next() {
+                let (rid, rdata) = &inserted[ix.index(inserted.len())];
+                prop_assert_eq!(store.get_local(*rid).as_ref(), Some(rdata));
+                prop_assert!(store.resident_bytes() <= capacity);
+            }
+        }
+        for (id, data) in &inserted {
+            prop_assert_eq!(store.get_local(*id).as_ref(), Some(data));
+            prop_assert!(store.resident_bytes() <= capacity);
+        }
+    }
 }
 
 // ----------------------------------------------------------------------
@@ -301,6 +339,8 @@ proptest! {
             args,
             num_returns,
             demand: Resources::cpus(1.0),
+            deadline_micros: None,
+            critical: false,
         };
         let decoded = TaskSpec::decode(&spec.encode().unwrap()).unwrap();
         prop_assert_eq!(&decoded, &spec);

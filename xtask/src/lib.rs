@@ -261,6 +261,7 @@ fn argument_is_registered(
 /// trace timestamps stay virtualizable; a bare `Instant::now()` here would
 /// silently decouple deadlines from the trace clock.
 pub const EMISSION_PATH_FILES: &[&str] = &[
+    "crates/core/src/context.rs",
     "crates/core/src/worker.rs",
     "crates/core/src/node.rs",
     "crates/core/src/lineage.rs",
