@@ -847,11 +847,10 @@ fn json_escape(s: &str) -> String {
 /// (`"X"`) duration spans; every other event renders as an instant
 /// (`"i"`). `pid` is the node, `tid` a stable per-entity lane.
 pub fn render_chrome_trace(log: &TraceLog) -> String {
-    use std::collections::HashMap;
     let mut out = String::from("{\"traceEvents\":[");
     let mut first = true;
     // Open Running spans per entity: (start ts, node, detail).
-    let mut open: HashMap<String, (u64, NodeId, String)> = HashMap::new();
+    let mut open: BTreeMap<String, (u64, NodeId, String)> = BTreeMap::new();
     let tid = |entity: &TraceEntity| -> u64 {
         let key = entity.key();
         let mut h: u64 = 0xcbf29ce484222325;
@@ -1086,5 +1085,33 @@ mod tests {
     #[test]
     fn json_escaping_handles_specials() {
         assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+    }
+
+    /// Regression for the open-span tracking map (a `HashMap` until the
+    /// determinism pass flagged the file): with a `BTreeMap` the export
+    /// is a pure function of the log — two renders of the same log are
+    /// byte-identical, with interleaved spans, unclosed spans, and
+    /// multiple nodes in play.
+    #[test]
+    fn chrome_export_is_byte_stable() {
+        let clock = Clock::manual();
+        let c = TraceCollector::with_clock(64, clock.clone());
+        // Six spans opened in descending order across three nodes; only
+        // half of them close, so the open-span map stays populated.
+        for n in (0..6u8).rev() {
+            c.emit(NodeId(u32::from(n % 3)), TraceEventKind::Running, task(n), "work");
+            clock.advance(10 + u64::from(n));
+        }
+        for n in [1u8, 3, 5] {
+            c.emit(NodeId(u32::from(n % 3)), TraceEventKind::Finished, task(n), "work");
+        }
+        c.emit(NodeId(0), TraceEventKind::ObjectPut, obj(1), "64B");
+        let log = TraceLog::from_events(c.drain_all());
+        let first = render_chrome_trace(&log);
+        let second = render_chrome_trace(&log);
+        assert_eq!(first, second, "chrome export must be byte-stable");
+        // The three closed spans pair up; the put renders as an instant.
+        assert_eq!(first.matches("\"ph\":\"X\"").count(), 3);
+        assert!(first.contains("\"ph\":\"i\""));
     }
 }

@@ -397,7 +397,7 @@ fn start_host(
             ray_common::sync::install_long_hold_metrics(metrics);
             host.run(rx)
         })
-        .expect("spawn actor host");
+        .expect("invariant: thread spawn only fails on OS resource exhaustion");
     shared.actors.activate(actor, tx, node);
 }
 
@@ -419,7 +419,7 @@ pub(crate) fn rebuild_actor(shared: &Arc<RuntimeShared>, actor: ActorId) -> RayR
                 shared.actors.mark_dead(actor);
             }
         })
-        .expect("spawn actor recovery");
+        .expect("invariant: thread spawn only fails on OS resource exhaustion");
     Ok(())
 }
 

@@ -33,7 +33,7 @@ pub(crate) fn start_global(
     std::thread::Builder::new()
         .name("global-scheduler".into())
         .spawn(move || global_loop(shared, rx))
-        .expect("spawn global scheduler")
+        .expect("invariant: thread spawn only fails on OS resource exhaustion")
 }
 
 fn global_loop(shared: Arc<RuntimeShared>, rx: Receiver<GlobalMsg>) {

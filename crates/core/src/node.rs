@@ -100,7 +100,7 @@ pub(crate) fn start_node(shared: &Arc<RuntimeShared>, node: NodeId) -> Arc<NodeH
     let join = std::thread::Builder::new()
         .name(format!("local-scheduler-{node}"))
         .spawn(move || scheduler_loop(shared2, node, rx, tx, ledger, alive))
-        .expect("spawn local scheduler");
+        .expect("invariant: thread spawn only fails on OS resource exhaustion");
     *handle.join.lock() = Some(join);
     handle
 }
@@ -297,7 +297,7 @@ fn dispatch(
         }
         let Some(i) = chosen else { return };
         // Resources are held; now find a worker.
-        let (spec, enqueued) = ready.remove(i).expect("index in range");
+        let (spec, enqueued) = ready.remove(i).expect("invariant: i indexes ready, found by the scan above");
         let demand = spec.demand.clone();
         match pool.pick(shared, node, tx) {
             Some(w) => {

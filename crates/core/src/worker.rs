@@ -80,7 +80,7 @@ impl WorkerHandle {
                     }
                 }
             })
-            .expect("spawn worker thread");
+            .expect("invariant: thread spawn only fails on OS resource exhaustion");
         WorkerHandle { tx, join: Some(join) }
     }
 }

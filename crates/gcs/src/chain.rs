@@ -324,7 +324,7 @@ impl Chain {
         // initialized by state transfer from the current tail.
         while !members.is_empty() && members.len() < self.cfg.chain_length {
             let snapshot = {
-                let tail = members.last().expect("non-empty");
+                let tail = members.last().expect("invariant: chain membership is never empty");
                 let (tx, rx) = bounded(1);
                 if tail.tx.send(ReplicaMsg::Snapshot { reply: tx }).is_err() {
                     break;

@@ -84,8 +84,8 @@ impl ConsistencyChecker {
     pub fn verify(&self) -> RayResult<Vec<ConsistencyViolation>> {
         let journal: Vec<JournaledWrite> = self.journal.lock().clone();
         // Last acknowledged write per key is the expected state.
-        let mut expected_tasks = std::collections::HashMap::new();
-        let mut expected_lineage = std::collections::HashMap::new();
+        let mut expected_tasks = std::collections::BTreeMap::new();
+        let mut expected_lineage = std::collections::BTreeMap::new();
         for w in &journal {
             match w {
                 JournaledWrite::Task { task, spec } => {

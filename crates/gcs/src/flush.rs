@@ -27,7 +27,7 @@
 //! torn final record (crash mid-append) is detected during the reopen scan
 //! and truncated away rather than treated as corruption.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::fs::{File, OpenOptions};
 use std::io::{Read as _, Seek as _, SeekFrom, Write as _};
 use std::os::unix::fs::FileExt;
@@ -53,7 +53,7 @@ use crate::kv::{Entry, Key, Table, UpdateOp};
 /// offset per key.
 pub struct DiskStore {
     backing: OrderedMutex<Backing>,
-    index: OrderedMutex<HashMap<Key, (u64, u32)>>,
+    index: OrderedMutex<BTreeMap<Key, (u64, u32)>>,
     bytes_written: AtomicU64,
 }
 
@@ -76,7 +76,7 @@ impl DiskStore {
             .open(&path)?;
         Ok(DiskStore {
             backing: OrderedMutex::new(&classes::GCS_DISK_BACKING, Backing::File { file, len: 0, path }),
-            index: OrderedMutex::new(&classes::GCS_DISK_INDEX, HashMap::new()),
+            index: OrderedMutex::new(&classes::GCS_DISK_INDEX, BTreeMap::new()),
             bytes_written: AtomicU64::new(0),
         })
     }
@@ -109,7 +109,7 @@ impl DiskStore {
     pub fn in_memory() -> DiskStore {
         DiskStore {
             backing: OrderedMutex::new(&classes::GCS_DISK_BACKING, Backing::Memory(Vec::new())),
-            index: OrderedMutex::new(&classes::GCS_DISK_INDEX, HashMap::new()),
+            index: OrderedMutex::new(&classes::GCS_DISK_INDEX, BTreeMap::new()),
             bytes_written: AtomicU64::new(0),
         }
     }
@@ -181,8 +181,9 @@ impl DiskStore {
     /// Returns the latest version of every key on disk, in key order (for
     /// deterministic whole-shard recovery replay).
     pub fn replay(&self) -> Vec<(Key, Entry)> {
-        let mut keys: Vec<Key> = self.index.lock().keys().cloned().collect();
-        keys.sort();
+        // The index is a BTreeMap, so key order falls out of iteration —
+        // no post-hoc sort needed for byte-stable replay.
+        let keys: Vec<Key> = self.index.lock().keys().cloned().collect();
         keys.into_iter()
             .filter_map(|k| {
                 let e = self.read(&k)?;
@@ -196,8 +197,8 @@ impl DiskStore {
 /// of the valid prefix. Scanning stops at the first record whose framing or
 /// payload does not parse — that prefix boundary is where a torn append
 /// (or trailing garbage) begins.
-fn rebuild_index(data: &[u8]) -> (HashMap<Key, (u64, u32)>, u64) {
-    let mut index = HashMap::new();
+fn rebuild_index(data: &[u8]) -> (BTreeMap<Key, (u64, u32)>, u64) {
+    let mut index = BTreeMap::new();
     let mut pos = 0usize;
     while pos < data.len() {
         let rec_start = pos as u64;
@@ -209,7 +210,7 @@ fn rebuild_index(data: &[u8]) -> (HashMap<Key, (u64, u32)>, u64) {
             None => return (index, rec_start),
         };
         let key_len =
-            u32::from_le_bytes(data[pos + 1..pos + 5].try_into().expect("4 bytes")) as usize;
+            u32::from_le_bytes(data[pos + 1..pos + 5].try_into().expect("invariant: slice is exactly 4 bytes")) as usize;
         pos += 5;
         if data.len() - pos < key_len + 4 {
             return (index, rec_start);
@@ -217,7 +218,7 @@ fn rebuild_index(data: &[u8]) -> (HashMap<Key, (u64, u32)>, u64) {
         let key_id = data[pos..pos + key_len].to_vec();
         pos += key_len;
         let payload_len =
-            u32::from_le_bytes(data[pos..pos + 4].try_into().expect("4 bytes")) as usize;
+            u32::from_le_bytes(data[pos..pos + 4].try_into().expect("invariant: slice is exactly 4 bytes")) as usize;
         pos += 4;
         if data.len() - pos < payload_len {
             return (index, rec_start);
@@ -356,7 +357,7 @@ impl Flusher {
                     std::thread::sleep(cfg.flush_interval);
                 }
             })
-            .expect("spawn gcs-flusher");
+            .expect("invariant: thread spawn only fails on OS resource exhaustion");
         Flusher {
             stop,
             stalled,
@@ -504,6 +505,44 @@ mod tests {
         drop(d);
         // The torn tail was physically truncated.
         assert_eq!(std::fs::read(&path).unwrap().len(), full.len());
+        let _ = std::fs::remove_file(path);
+    }
+
+    /// Regression for the index container: it used to be a `HashMap`, so
+    /// `replay()` needed a manual sort and any iteration that skipped it
+    /// leaked hash order into recovery. With a `BTreeMap` the replayed
+    /// sequence is a pure function of the stored keys — scrambled insertion
+    /// order, repeated calls, and a reopen all yield the same sequence.
+    #[test]
+    fn replay_order_is_byte_stable() {
+        let path = std::env::temp_dir()
+            .join(format!("rustray-replay-stable-{}.log", std::process::id()));
+        let keys: Vec<Key> = [9u8, 2, 7, 0, 5, 3]
+            .iter()
+            .map(|b| Key::new(Table::Task, vec![*b]))
+            .collect();
+        {
+            let d = DiskStore::create(path.clone()).unwrap();
+            for k in &keys {
+                d.write(k, &Entry::Blob(Bytes::from(vec![k.id[0]; 8])));
+            }
+            let first = d.replay();
+            let second = d.replay();
+            assert_eq!(first, second, "repeated replays must match byte for byte");
+            assert!(
+                first.windows(2).all(|w| w[0].0 < w[1].0),
+                "replay must be in sorted key order regardless of insertion order"
+            );
+            assert_eq!(first.len(), keys.len());
+        }
+        let d = DiskStore::reopen(path.clone()).unwrap();
+        let recovered = d.replay();
+        assert!(recovered.windows(2).all(|w| w[0].0 < w[1].0));
+        assert_eq!(recovered.len(), keys.len());
+        for (k, e) in &recovered {
+            assert_eq!(*e, Entry::Blob(Bytes::from(vec![k.id[0]; 8])));
+        }
+        drop(d);
         let _ = std::fs::remove_file(path);
     }
 

@@ -92,7 +92,7 @@ impl ReplicaHandle {
         let handle = std::thread::Builder::new()
             .name(format!("gcs-replica-{id}"))
             .spawn(move || run_replica(rx, crashed2, resident2, disk, metrics, op_delay))
-            .expect("spawn gcs replica");
+            .expect("invariant: thread spawn only fails on OS resource exhaustion");
         ReplicaHandle { id, tx, crashed, resident, handle: Some(handle) }
     }
 

@@ -413,7 +413,7 @@ mod copy_pool {
                             let _ = job.done.send(());
                         }
                     })
-                    .expect("spawn copy pool thread");
+                    .expect("invariant: thread spawn only fails on OS resource exhaustion");
             }
             tx
         })
@@ -439,12 +439,12 @@ mod copy_pool {
                 len,
                 done: done_tx.clone(),
             };
-            pool().send(job).expect("copy pool alive");
+            pool().send(job).expect("invariant: copy pool threads never exit while the pool handle lives");
             jobs += 1;
             off += len;
         }
         for _ in 0..jobs {
-            done_rx.recv().expect("copy job acknowledged");
+            done_rx.recv().expect("invariant: copy pool acks every job before dropping the channel");
         }
     }
 }

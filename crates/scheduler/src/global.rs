@@ -188,7 +188,7 @@ impl GlobalScheduler {
                 }
             }
         }
-        Ok(best.expect("candidates non-empty").1)
+        Ok(best.expect("invariant: caller checked candidates is non-empty").1)
     }
 
     fn locations(&self, id: ObjectId) -> RayResult<Vec<(NodeId, u64)>> {

@@ -1,0 +1,42 @@
+#!/usr/bin/env bash
+# ThreadSanitizer soak over the chaos suites — the targets that actually
+# interleave node kills, cancellation, and GCS failover across threads.
+#
+# TSan needs a nightly toolchain with the rust-src component
+# (`-Zbuild-std` recompiles std with the sanitizer). When neither is
+# available the script skips gracefully so verify.sh stays runnable on
+# stable-only machines; opt in from verify.sh with VERIFY_TSAN=1 or run
+# directly: scripts/tsan.sh
+#
+# Usage: scripts/tsan.sh [extra `cargo test` args]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+if ! cargo +nightly --version >/dev/null 2>&1; then
+    echo "tsan: nightly toolchain not installed — skipping (rustup toolchain install nightly)"
+    exit 0
+fi
+if ! rustup component list --toolchain nightly 2>/dev/null | grep -q "rust-src.*(installed)"; then
+    echo "tsan: rust-src not installed for nightly — skipping (rustup +nightly component add rust-src)"
+    exit 0
+fi
+
+host="$(rustc -vV | sed -n 's/^host: //p')"
+
+# TSan slows execution ~5-15x; the chaos suites' internal deadlines are
+# generous enough, but run single-threaded to keep scheduling realistic
+# per test rather than oversubscribing the sanitized runtime.
+export RUSTFLAGS="-Zsanitizer=thread"
+export RUSTDOCFLAGS="-Zsanitizer=thread"
+export RUST_TEST_THREADS=1
+# Our OrderedMutex wrappers are plain std mutexes underneath; no
+# suppressions needed. Keep history large enough for long soaks.
+export TSAN_OPTIONS="${TSAN_OPTIONS:-history_size=7}"
+
+echo "tsan: chaos suite"
+cargo +nightly test -Zbuild-std --target "$host" --test chaos "$@"
+
+echo "tsan: cancel chaos suite"
+cargo +nightly test -Zbuild-std --target "$host" --test cancel_chaos "$@"
+
+echo "tsan: OK"

@@ -9,8 +9,11 @@ cd "$(dirname "$0")/.."
 
 export RUSTFLAGS="${RUSTFLAGS:--D warnings}"
 
-echo "== lock-discipline lint =="
-cargo run -q -p xtask -- lint
+echo "== static analysis gate =="
+# The full multi-pass analyzer: lock discipline + wall clock (the old
+# lint), static lock-order, determinism, panic-freedom, sleep-poll, and
+# trace coverage, ratcheted by xtask/analyze.allow.
+cargo run -q -p xtask -- analyze
 
 echo "== clippy =="
 cargo clippy --workspace -- -D warnings
@@ -44,5 +47,17 @@ trace_out="$(mktemp /tmp/rustray-trace.XXXXXX.json)"
 trap 'rm -f "$trace_out"' EXIT
 ./target/release/fig08a_locality --quick --trace-out "$trace_out" >/dev/null
 cargo run -q -p xtask -- trace-check "$trace_out" --expect-nodes 2
+
+if [[ "${VERIFY_MIRI:-0}" == "1" ]]; then
+    echo "== miri smoke (opt-in) =="
+    # Undefined-behaviour smoke over the sync layer's unit tests. Needs
+    # `rustup +nightly component add miri`; opt in with VERIFY_MIRI=1.
+    cargo +nightly miri test -p ray-common sync
+fi
+
+if [[ "${VERIFY_TSAN:-0}" == "1" ]]; then
+    echo "== thread sanitizer soak (opt-in) =="
+    scripts/tsan.sh
+fi
 
 echo "verify: OK"

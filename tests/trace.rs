@@ -165,6 +165,53 @@ fn disabled_tracing_produces_an_empty_log() {
 }
 
 // ----------------------------------------------------------------------
+// Store pressure and GCS flushing leave a trail too.
+// ----------------------------------------------------------------------
+
+/// Eviction under memory pressure is observable: spill-enabled stores
+/// emit `ObjectSpilled` per victim, spill-disabled stores emit
+/// `ObjectEvicted` (the object is gone), and a GCS flush stamps
+/// `GcsFlush` on the shard entity.
+#[test]
+fn store_pressure_and_gcs_flush_are_traced() {
+    use ray_repro::common::config::ObjectStoreConfig;
+
+    // Phase 1: spill enabled — victims are recoverable, so the trail is
+    // ObjectSpilled (never ObjectEvicted).
+    let mut cfg =
+        RayConfig::builder().nodes(1).workers_per_node(1).seed(11).tracing(true).build();
+    cfg.object_store = ObjectStoreConfig { capacity_bytes: 64 * 1024, spill_enabled: true };
+    let cluster = Cluster::start(cfg).unwrap();
+    let ctx = cluster.driver();
+    for i in 0..8u64 {
+        ctx.put(&vec![i as u8; 16 * 1024]).unwrap();
+    }
+    cluster.gcs().flush_all_to_disk(0).unwrap();
+    let log = cluster.trace_log().unwrap();
+    log.assert()
+        .happened(TraceEventKind::ObjectSpilled)
+        .happened(TraceEventKind::GcsFlush)
+        .never(TraceEventKind::ObjectEvicted);
+    cluster.shutdown();
+
+    // Phase 2: spill disabled — the same pressure drops victims for good,
+    // which must be visible as ObjectEvicted.
+    let mut cfg =
+        RayConfig::builder().nodes(1).workers_per_node(1).seed(11).tracing(true).build();
+    cfg.object_store = ObjectStoreConfig { capacity_bytes: 64 * 1024, spill_enabled: false };
+    let cluster = Cluster::start(cfg).unwrap();
+    let ctx = cluster.driver();
+    for i in 0..8u64 {
+        ctx.put(&vec![i as u8; 16 * 1024]).unwrap();
+    }
+    let log = cluster.trace_log().unwrap();
+    log.assert()
+        .happened(TraceEventKind::ObjectEvicted)
+        .never(TraceEventKind::ObjectSpilled);
+    cluster.shutdown();
+}
+
+// ----------------------------------------------------------------------
 // Determinism: same seed, same signature — through a full recovery.
 // ----------------------------------------------------------------------
 

@@ -1,0 +1,257 @@
+//! The per-rule allowlist / ratchet: `xtask/analyze.allow`.
+//!
+//! Each non-comment line grants a **budget** of findings to one
+//! `(rule, file)` pair:
+//!
+//! ```text
+//! rule  path/relative/to/root.rs  budget  # reason (required)
+//! ```
+//!
+//! Semantics are a ratchet, not a waiver:
+//!
+//! - more findings than the budget → hard failure (the violation is new);
+//! - fewer findings than the budget → the run still passes, but the entry
+//!   is reported as *stale* so the budget gets tightened
+//!   (`analyze --update-ratchet` rewrites counts in place);
+//! - a budget entry for a `(rule, file)` with zero findings is stale too.
+//!
+//! Budgets therefore only ever shrink as violations are burned down, and
+//! a regression anywhere fails the gate immediately.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::path::Path;
+
+use crate::findings::Finding;
+
+/// One parsed allowlist line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Budget {
+    pub rule: String,
+    pub file: String,
+    pub max: usize,
+    pub reason: String,
+    /// 1-based line in the allowlist file.
+    pub line: usize,
+}
+
+/// The parsed allowlist.
+#[derive(Debug, Default, Clone)]
+pub struct Allowlist {
+    pub budgets: Vec<Budget>,
+}
+
+/// A parse failure (malformed line).
+#[derive(Debug)]
+pub struct AllowlistError {
+    pub line: usize,
+    pub message: String,
+}
+
+impl fmt::Display for AllowlistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "allowlist line {}: {}", self.line, self.message)
+    }
+}
+
+impl Allowlist {
+    pub fn parse(src: &str) -> Result<Allowlist, AllowlistError> {
+        let mut budgets = Vec::new();
+        for (idx, raw) in src.lines().enumerate() {
+            let line = idx + 1;
+            let trimmed = raw.trim();
+            if trimmed.is_empty() || trimmed.starts_with('#') {
+                continue;
+            }
+            let (entry, reason) = match trimmed.split_once('#') {
+                Some((e, r)) => (e.trim(), r.trim().to_string()),
+                None => {
+                    return Err(AllowlistError {
+                        line,
+                        message: "entry needs a `# reason` comment".into(),
+                    })
+                }
+            };
+            let mut parts = entry.split_whitespace();
+            let (Some(rule), Some(file), Some(max)) =
+                (parts.next(), parts.next(), parts.next())
+            else {
+                return Err(AllowlistError {
+                    line,
+                    message: format!("expected `rule path budget # reason`, got {trimmed:?}"),
+                });
+            };
+            if parts.next().is_some() {
+                return Err(AllowlistError {
+                    line,
+                    message: "trailing tokens after budget".into(),
+                });
+            }
+            let max: usize = max.parse().map_err(|_| AllowlistError {
+                line,
+                message: format!("budget {max:?} is not a number"),
+            })?;
+            budgets.push(Budget {
+                rule: rule.to_string(),
+                file: file.to_string(),
+                max,
+                reason,
+                line,
+            });
+        }
+        Ok(Allowlist { budgets })
+    }
+
+    pub fn load(path: &Path) -> Result<Allowlist, AllowlistError> {
+        match std::fs::read_to_string(path) {
+            Ok(src) => Allowlist::parse(&src),
+            Err(_) => Ok(Allowlist::default()),
+        }
+    }
+
+    fn budget_for(&self, rule: &str, file: &str) -> Option<&Budget> {
+        self.budgets.iter().find(|b| b.rule == rule && b.file == file)
+    }
+
+    /// Splits findings into `(allowed, denied, stale)`.
+    ///
+    /// Findings for a `(rule, file)` group within its budget are allowed;
+    /// a group over budget denies *every* finding in the group (so the
+    /// report shows the full picture, not just the overflow). `stale`
+    /// lists budgets whose actual count is below the granted maximum.
+    pub fn apply(&self, findings: Vec<Finding>) -> Applied {
+        let mut groups: BTreeMap<(String, String), Vec<Finding>> = BTreeMap::new();
+        for f in findings {
+            let key = (f.rule.to_string(), f.file.to_string_lossy().replace('\\', "/"));
+            groups.entry(key).or_default().push(f);
+        }
+        let mut allowed = Vec::new();
+        let mut denied = Vec::new();
+        let mut over_budget = Vec::new();
+        for ((rule, file), group) in &groups {
+            match self.budget_for(rule, file) {
+                Some(b) if group.len() <= b.max => allowed.extend(group.iter().cloned()),
+                Some(b) => {
+                    over_budget.push(format!(
+                        "{file}: [{rule}] {} finding(s) exceed budget {} \
+                         (allowlist line {})",
+                        group.len(),
+                        b.max,
+                        b.line
+                    ));
+                    denied.extend(group.iter().cloned());
+                }
+                None => denied.extend(group.iter().cloned()),
+            }
+        }
+        let mut stale = Vec::new();
+        for b in &self.budgets {
+            let actual = groups
+                .get(&(b.rule.clone(), b.file.clone()))
+                .map_or(0, Vec::len);
+            if actual < b.max {
+                stale.push(format!(
+                    "{}: [{}] budget {} but only {} finding(s) — tighten \
+                     (allowlist line {}; run `analyze --update-ratchet`)",
+                    b.file, b.rule, b.max, actual, b.line
+                ));
+            }
+        }
+        Applied { allowed, denied, over_budget, stale }
+    }
+
+    /// Rewrites the allowlist with budgets set to the actual finding
+    /// counts, dropping entries whose count reached zero. Reasons and
+    /// standalone comment lines are preserved.
+    pub fn rewritten(&self, original: &str, findings: &[Finding]) -> String {
+        let mut counts: BTreeMap<(String, String), usize> = BTreeMap::new();
+        for f in findings {
+            let key = (f.rule.to_string(), f.file.to_string_lossy().replace('\\', "/"));
+            *counts.entry(key).or_default() += 1;
+        }
+        let mut out = String::new();
+        for (idx, raw) in original.lines().enumerate() {
+            let line = idx + 1;
+            match self.budgets.iter().find(|b| b.line == line) {
+                None => {
+                    out.push_str(raw);
+                    out.push('\n');
+                }
+                Some(b) => {
+                    let actual =
+                        counts.get(&(b.rule.clone(), b.file.clone())).copied().unwrap_or(0);
+                    if actual > 0 {
+                        out.push_str(&format!(
+                            "{} {} {}  # {}\n",
+                            b.rule, b.file, actual, b.reason
+                        ));
+                    }
+                    // Zero findings: drop the line (burned down).
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Result of applying the allowlist.
+pub struct Applied {
+    pub allowed: Vec<Finding>,
+    pub denied: Vec<Finding>,
+    /// Human-readable over-budget group summaries.
+    pub over_budget: Vec<String>,
+    /// Human-readable stale-budget notes (non-fatal).
+    pub stale: Vec<String>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn f(rule: &'static str, file: &str, line: usize) -> Finding {
+        Finding { file: PathBuf::from(file), line, rule, excerpt: "x".into() }
+    }
+
+    #[test]
+    fn parse_requires_reason() {
+        assert!(Allowlist::parse("panic-freedom a.rs 3\n").is_err());
+        let a = Allowlist::parse("# header\npanic-freedom a.rs 3 # legacy\n").unwrap();
+        assert_eq!(a.budgets.len(), 1);
+        assert_eq!(a.budgets[0].max, 3);
+        assert_eq!(a.budgets[0].reason, "legacy");
+    }
+
+    #[test]
+    fn within_budget_allows_over_budget_denies() {
+        let a = Allowlist::parse("r a.rs 2 # ok\n").unwrap();
+        let applied = a.apply(vec![f("r", "a.rs", 1), f("r", "a.rs", 2)]);
+        assert_eq!(applied.allowed.len(), 2);
+        assert!(applied.denied.is_empty());
+        assert!(applied.stale.is_empty());
+
+        let applied =
+            a.apply(vec![f("r", "a.rs", 1), f("r", "a.rs", 2), f("r", "a.rs", 3)]);
+        assert_eq!(applied.denied.len(), 3);
+        assert_eq!(applied.over_budget.len(), 1);
+    }
+
+    #[test]
+    fn unlisted_findings_are_denied_and_shrunk_budgets_go_stale() {
+        let a = Allowlist::parse("r a.rs 5 # was worse\n").unwrap();
+        let applied = a.apply(vec![f("r", "a.rs", 1), f("other", "b.rs", 9)]);
+        assert_eq!(applied.allowed.len(), 1);
+        assert_eq!(applied.denied.len(), 1);
+        assert_eq!(applied.stale.len(), 1, "budget 5 vs 1 actual is stale");
+    }
+
+    #[test]
+    fn rewrite_tightens_and_drops() {
+        let src = "# keep this comment\nr a.rs 5 # was worse\nr gone.rs 2 # done\n";
+        let a = Allowlist::parse(src).unwrap();
+        let out = a.rewritten(src, &[f("r", "a.rs", 1), f("r", "a.rs", 2)]);
+        assert!(out.contains("# keep this comment"));
+        assert!(out.contains("r a.rs 2  # was worse"));
+        assert!(!out.contains("gone.rs"));
+    }
+}

@@ -1,0 +1,158 @@
+//! The `analyze` orchestrator: one workspace read, every pass, one
+//! allowlist application, one report.
+
+use std::path::{Path, PathBuf};
+
+use crate::allowlist::{Allowlist, Applied};
+use crate::findings::{finding_to_json, json_escape, Finding};
+use crate::passes::{all_passes, AnalyzeCtx};
+use crate::registry::ClassRegistry;
+use crate::walker::Workspace;
+
+/// Workspace-relative path of the allowlist / ratchet file.
+pub const ALLOWLIST_PATH: &str = "xtask/analyze.allow";
+
+/// Result of a full analyze run.
+pub struct AnalyzeReport {
+    pub files_scanned: usize,
+    pub passes_run: usize,
+    /// Findings admitted by the allowlist (within budget).
+    pub allowed: Vec<Finding>,
+    /// Findings that fail the gate.
+    pub denied: Vec<Finding>,
+    /// Human-readable over-budget group summaries (these groups' findings
+    /// are all in `denied`).
+    pub over_budget: Vec<String>,
+    /// Stale-budget notes (non-fatal; `--update-ratchet` clears them).
+    pub stale: Vec<String>,
+    /// Every raw finding, pre-allowlist (ratchet rewriting needs this).
+    pub all_findings: Vec<Finding>,
+}
+
+impl AnalyzeReport {
+    pub fn is_clean(&self) -> bool {
+        self.denied.is_empty()
+    }
+}
+
+/// Runs every pass over the workspace rooted at `root` and applies the
+/// allowlist ratchet.
+pub fn run_analyze(root: &Path) -> std::io::Result<AnalyzeReport> {
+    let ws = Workspace::load(root)?;
+    let ctx = load_ctx(root, &ws, false)?;
+    let allowlist = Allowlist::load(&root.join(ALLOWLIST_PATH)).map_err(|e| {
+        std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string())
+    })?;
+    Ok(run_passes(&ctx, &ws, &allowlist))
+}
+
+/// Analyzes explicitly named files: every file is in scope for every
+/// path-scoped rule and no allowlist applies (fixture self-tests, ad-hoc
+/// checks of files outside the default walk).
+pub fn run_analyze_paths(root: &Path, paths: &[PathBuf]) -> std::io::Result<AnalyzeReport> {
+    let ws = Workspace::load_paths(root, paths)?;
+    let ctx = load_ctx(root, &ws, true)?;
+    Ok(run_passes(&ctx, &ws, &Allowlist::default()))
+}
+
+/// Builds the shared pass context. The lock-class registry comes from the
+/// workspace's own copy of `sync.rs` when it was walked, falling back to
+/// reading it from disk (explicit-file runs still need the real ranks).
+fn load_ctx(root: &Path, ws: &Workspace, all_files_in_scope: bool) -> std::io::Result<AnalyzeCtx> {
+    let sync_src = match ws.files.iter().find(|f| f.rel_str() == "crates/common/src/sync.rs") {
+        Some(f) => f.src.clone(),
+        None => std::fs::read_to_string(root.join("crates/common/src/sync.rs"))?,
+    };
+    let design_md = std::fs::read_to_string(root.join("DESIGN.md")).ok();
+    Ok(AnalyzeCtx {
+        registry: ClassRegistry::from_sync_source(&sync_src),
+        design_md,
+        all_files_in_scope,
+    })
+}
+
+/// Runs all passes and applies the allowlist.
+pub fn run_passes(ctx: &AnalyzeCtx, ws: &Workspace, allowlist: &Allowlist) -> AnalyzeReport {
+    let passes = all_passes();
+    let passes_run = passes.len();
+    let mut all_findings = Vec::new();
+    for pass in &passes {
+        all_findings.extend(pass.run(ctx, ws));
+    }
+    let Applied { allowed, denied, over_budget, stale } = allowlist.apply(all_findings.clone());
+    AnalyzeReport {
+        files_scanned: ws.files.len(),
+        passes_run,
+        allowed,
+        denied,
+        over_budget,
+        stale,
+        all_findings,
+    }
+}
+
+/// Rewrites the allowlist at `root` so budgets equal actual counts
+/// (`analyze --update-ratchet`). Returns the number of budget lines after
+/// the rewrite.
+pub fn update_ratchet(root: &Path, report: &AnalyzeReport) -> std::io::Result<usize> {
+    let path = root.join(ALLOWLIST_PATH);
+    let original = std::fs::read_to_string(&path).unwrap_or_default();
+    let allowlist = Allowlist::parse(&original).map_err(|e| {
+        std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string())
+    })?;
+    let rewritten = allowlist.rewritten(&original, &report.all_findings);
+    std::fs::write(&path, &rewritten)?;
+    let remaining = Allowlist::parse(&rewritten)
+        .map(|a| a.budgets.len())
+        .unwrap_or(0);
+    Ok(remaining)
+}
+
+/// Renders the report for humans. Returns the process exit code.
+pub fn render_text(report: &AnalyzeReport) -> (String, i32) {
+    let mut out = String::new();
+    for f in &report.denied {
+        out.push_str(&format!("{f}\n"));
+    }
+    for note in &report.over_budget {
+        out.push_str(&format!("over budget: {note}\n"));
+    }
+    for note in &report.stale {
+        out.push_str(&format!("stale budget: {note}\n"));
+    }
+    let status = if report.is_clean() { "ok" } else { "FAIL" };
+    out.push_str(&format!(
+        "analyze: {status} — {} file(s), {} pass(es), {} finding(s) ({} allowed, {} denied)\n",
+        report.files_scanned,
+        report.passes_run,
+        report.all_findings.len(),
+        report.allowed.len(),
+        report.denied.len(),
+    ));
+    (out, if report.is_clean() { 0 } else { 1 })
+}
+
+/// Renders the report as one JSON document (`analyze --json`).
+pub fn render_json(report: &AnalyzeReport) -> String {
+    let mut findings = Vec::new();
+    for f in &report.allowed {
+        findings.push(finding_to_json(f, true));
+    }
+    for f in &report.denied {
+        findings.push(finding_to_json(f, false));
+    }
+    let notes: Vec<String> = report
+        .over_budget
+        .iter()
+        .chain(report.stale.iter())
+        .map(|n| format!("\"{}\"", json_escape(n)))
+        .collect();
+    format!(
+        "{{\"ok\":{},\"files_scanned\":{},\"passes_run\":{},\"findings\":[{}],\"notes\":[{}]}}",
+        report.is_clean(),
+        report.files_scanned,
+        report.passes_run,
+        findings.join(","),
+        notes.join(","),
+    )
+}

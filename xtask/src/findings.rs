@@ -1,0 +1,60 @@
+//! The finding model shared by every pass, plus JSON rendering for
+//! machine-readable output (`analyze --json`).
+
+use std::fmt;
+use std::path::PathBuf;
+
+/// One analyzer violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    pub file: PathBuf,
+    /// 1-based line number.
+    pub line: usize,
+    /// Short rule identifier, e.g. `raw-lock` or `lock-order-inversion`.
+    pub rule: &'static str,
+    /// The offending source line (or a synthesized description for
+    /// workspace-level rules), trimmed.
+    pub excerpt: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file.display(),
+            self.line,
+            self.rule,
+            self.excerpt
+        )
+    }
+}
+
+/// Escapes a string for inclusion in a JSON document.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders one finding as a JSON object (no trailing separator).
+pub fn finding_to_json(f: &Finding, allowed: bool) -> String {
+    format!(
+        "{{\"file\":\"{}\",\"line\":{},\"rule\":\"{}\",\"allowed\":{},\"excerpt\":\"{}\"}}",
+        json_escape(&f.file.to_string_lossy().replace('\\', "/")),
+        f.line,
+        json_escape(f.rule),
+        allowed,
+        json_escape(&f.excerpt),
+    )
+}

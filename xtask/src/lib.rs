@@ -1,362 +1,86 @@
-//! Lock-discipline lint: the static half of the ranked-lock enforcement
-//! story (`ray_common::sync` is the dynamic half).
+//! Workspace static analysis: the static half of the repo's enforcement
+//! story (`ray_common::sync`'s ranked locks and the trace-assertion suite
+//! are the dynamic half).
 //!
-//! The lint walks the workspace's Rust sources and rejects:
+//! `cargo run -p xtask -- analyze` walks the workspace once and runs every
+//! pass over the shared file set:
 //!
-//! 1. **Raw lock imports/uses** — any mention of `parking_lot` or of
-//!    `std::sync::{Mutex, RwLock, Condvar}` outside the one file allowed to
-//!    touch them, `crates/common/src/sync.rs`. Everything else must go
-//!    through [`OrderedMutex`]/[`OrderedRwLock`]/[`OrderedCondvar`], whose
-//!    rank checks only work if nobody side-steps them.
-//! 2. **Poisoning-style guard handling** — `.lock().unwrap()`,
-//!    `.read().unwrap()`, `.write().unwrap()`: a tell-tale sign of a raw
-//!    `std::sync` lock having snuck in.
-//! 3. **Unregistered lock constructions** — `OrderedMutex::new(..)` /
-//!    `OrderedRwLock::new(..)` whose first argument is not a registered
-//!    `LockClass`: either a `&classes::NAME` from the central rank table or
-//!    a `static NAME: LockClass` declared in the same file (test-local
-//!    classes).
+//! * **lock-discipline** — raw `parking_lot`/`std::sync` lock use outside
+//!   the wrapper, poisoning-style `.lock().unwrap()`, and
+//!   `OrderedMutex::new` with an unregistered `LockClass`.
+//! * **wall-clock** — `Instant::now()` on trace-emission paths (all time
+//!   goes through the `Clock` seam).
+//! * **lock-order** — static acquisition-order analysis: intra-function
+//!   nested acquisitions become edges in a cross-workspace graph keyed by
+//!   `LockClass` rank; rank inversions and cycles fail the gate, and the
+//!   code's rank table is cross-checked against DESIGN.md §9.
+//! * **determinism** — `HashMap`/`HashSet` iteration on trace, signature,
+//!   and GCS flush/replay paths.
+//! * **panic-free** — `unwrap()`/`expect()`/`panic!`/slice-indexing in
+//!   non-test runtime code (burn-down via the allowlist ratchet).
+//! * **sleep-poll** — `thread::sleep` inside loop bodies.
+//! * **trace-coverage** — every `TraceEventKind` variant emitted in
+//!   runtime code and asserted in some test.
 //!
 //! Scanning is line-oriented and intentionally dumb — no syn, no regex
-//! crate, std only — because the gate has to build offline. Line comments
-//! are stripped before matching so prose about `parking_lot` stays legal.
+//! crate, std only — because the gate has to build offline. Pre-existing
+//! violations are budgeted in `xtask/analyze.allow` (a ratchet: budgets
+//! only shrink; see `allowlist`). `lint` remains as an alias running the
+//! migrated original rules.
 
-use std::collections::{BTreeMap, BTreeSet};
-use std::fmt;
+pub mod allowlist;
+pub mod analyze;
+pub mod findings;
+pub mod json;
+pub mod passes;
+pub mod registry;
+pub mod walker;
+
 use std::path::{Path, PathBuf};
 
-/// One lint violation.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct Finding {
-    pub file: PathBuf,
-    /// 1-based line number.
-    pub line: usize,
-    /// Short rule identifier, e.g. `raw-lock`.
-    pub rule: &'static str,
-    /// The offending source line, trimmed.
-    pub excerpt: String,
-}
+use passes::Pass;
 
-impl fmt::Display for Finding {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "{}:{}: [{}] {}",
-            self.file.display(),
-            self.line,
-            self.rule,
-            self.excerpt
-        )
-    }
-}
+// Back-compat surface: the original single-purpose lint API, now thin
+// wrappers over the pass framework. `xtask/tests/lint_gate.rs` and the
+// verify script's `lint` subcommand ride on these.
+pub use findings::Finding;
+pub use json::{parse_json, trace_check, Json};
+pub use passes::locks::lint_source;
+pub use passes::wall_clock::{lint_wall_clock, EMISSION_PATH_FILES};
+pub use registry::ClassRegistry;
 
-/// The set of `LockClass` names a construction may legally reference.
-#[derive(Debug, Default, Clone)]
-pub struct ClassRegistry {
-    central: BTreeSet<String>,
-}
+pub use analyze::{
+    render_json, render_text, run_analyze, run_analyze_paths, update_ratchet, AnalyzeReport,
+    ALLOWLIST_PATH,
+};
 
-impl ClassRegistry {
-    /// Builds the registry from the rank-table source (`sync.rs`).
-    pub fn from_sync_source(sync_src: &str) -> ClassRegistry {
-        ClassRegistry { central: collect_lock_class_statics(sync_src) }
-    }
-
-    fn contains(&self, name: &str) -> bool {
-        self.central.contains(name)
-    }
-
-    /// Number of centrally registered classes (for the summary line).
-    pub fn len(&self) -> usize {
-        self.central.len()
-    }
-
-    pub fn is_empty(&self) -> bool {
-        self.central.is_empty()
-    }
-}
-
-/// Extracts identifiers declared as `static NAME: LockClass = ...`
-/// (with or without `pub`) from one source file.
-fn collect_lock_class_statics(src: &str) -> BTreeSet<String> {
-    let mut out = BTreeSet::new();
-    for line in src.lines() {
-        let line = strip_line_comment(line).trim().to_string();
-        let rest = line
-            .strip_prefix("pub static ")
-            .or_else(|| line.strip_prefix("static "));
-        if let Some(rest) = rest {
-            if let Some((name, ty)) = rest.split_once(':') {
-                if ty.trim_start().starts_with("LockClass") {
-                    out.insert(name.trim().to_string());
-                }
-            }
-        }
-    }
-    out
-}
-
-/// Drops a `//` line comment. Keeps `//` that appears inside a string
-/// literal out of scope by only cutting at a `//` with an even number of
-/// unescaped quotes before it — good enough for this codebase.
-fn strip_line_comment(line: &str) -> &str {
-    let bytes = line.as_bytes();
-    let mut in_str = false;
-    let mut i = 0;
-    while i < bytes.len() {
-        match bytes[i] {
-            b'\\' if in_str => i += 1, // skip escaped char
-            b'"' => in_str = !in_str,
-            b'/' if !in_str && i + 1 < bytes.len() && bytes[i + 1] == b'/' => {
-                return &line[..i];
-            }
-            _ => {}
-        }
-        i += 1;
-    }
-    line
-}
-
-fn has_word(haystack: &str, word: &str) -> bool {
-    let mut start = 0;
-    while let Some(pos) = haystack[start..].find(word) {
-        let at = start + pos;
-        let before_ok = at == 0
-            || !haystack.as_bytes()[at - 1].is_ascii_alphanumeric()
-                && haystack.as_bytes()[at - 1] != b'_';
-        let end = at + word.len();
-        let after_ok = end >= haystack.len()
-            || !haystack.as_bytes()[end].is_ascii_alphanumeric()
-                && haystack.as_bytes()[end] != b'_';
-        if before_ok && after_ok {
-            return true;
-        }
-        start = at + word.len();
-    }
-    false
-}
-
-/// Lints one file's contents. `allow_raw` is true only for
-/// `crates/common/src/sync.rs`, which wraps the raw primitives.
-pub fn lint_source(
-    path: &Path,
-    src: &str,
-    registry: &ClassRegistry,
-    allow_raw: bool,
-) -> Vec<Finding> {
-    let mut findings = Vec::new();
-    let local_classes = collect_lock_class_statics(src);
-    let lines: Vec<&str> = src.lines().collect();
-
-    for (idx, raw_line) in lines.iter().enumerate() {
-        let line = strip_line_comment(raw_line);
-        let lineno = idx + 1;
-        let push = |findings: &mut Vec<Finding>, rule| {
-            findings.push(Finding {
-                file: path.to_path_buf(),
-                line: lineno,
-                rule,
-                excerpt: raw_line.trim().to_string(),
-            });
-        };
-
-        if !allow_raw {
-            if line.contains("parking_lot") {
-                push(&mut findings, "raw-lock");
-            }
-            let qualified_std_lock = line.contains("std::sync::Mutex")
-                || line.contains("std::sync::RwLock")
-                || line.contains("std::sync::Condvar");
-            let imported_std_lock = line.contains("use std::sync::")
-                && (has_word(line, "Mutex")
-                    || has_word(line, "RwLock")
-                    || has_word(line, "Condvar"));
-            if qualified_std_lock || imported_std_lock {
-                push(&mut findings, "raw-lock");
-            }
-
-            for pat in [".lock().unwrap()", ".read().unwrap()", ".write().unwrap()"] {
-                if line.contains(pat) {
-                    push(&mut findings, "guard-unwrap");
-                }
-            }
-        }
-
-        for ctor in ["OrderedMutex::new(", "OrderedRwLock::new("] {
-            let mut search = 0;
-            while let Some(pos) = line[search..].find(ctor) {
-                let open = search + pos + ctor.len();
-                let first_arg = first_argument(&lines, idx, open);
-                if !argument_is_registered(&first_arg, registry, &local_classes) {
-                    push(&mut findings, "unregistered-class");
-                }
-                search = open;
-            }
-        }
-    }
-    findings
-}
-
-/// Collects the first argument of a call whose opening paren sits at byte
-/// `open` of line `line_idx`, joining up to a handful of following lines if
-/// the argument list wraps.
-fn first_argument(lines: &[&str], line_idx: usize, open: usize) -> String {
-    let mut arg = String::new();
-    let mut depth = 0usize;
-    let mut first = true;
-    for l in lines.iter().skip(line_idx).take(6) {
-        let text = if first {
-            first = false;
-            strip_line_comment(l).get(open..).unwrap_or("")
-        } else {
-            strip_line_comment(l)
-        };
-        for c in text.chars() {
-            match c {
-                '(' | '[' | '{' => depth += 1,
-                ')' | ']' | '}' => {
-                    if depth == 0 {
-                        return arg;
-                    }
-                    depth -= 1;
-                }
-                ',' if depth == 0 => return arg,
-                _ => {}
-            }
-            arg.push(c);
-        }
-        arg.push(' ');
-    }
-    arg
-}
-
-/// A first argument is legal when it is `&<path-to->classes::NAME` with
-/// NAME in the central rank table, or `&NAME` with NAME declared as a
-/// `static NAME: LockClass` in the same file.
-fn argument_is_registered(
-    arg: &str,
-    registry: &ClassRegistry,
-    local: &BTreeSet<String>,
-) -> bool {
-    let arg = arg.trim();
-    let Some(path) = arg.strip_prefix('&') else { return false };
-    let path = path.trim();
-    let segments: Vec<&str> = path.split("::").map(str::trim).collect();
-    let Some(name) = segments.last() else { return false };
-    if segments.len() >= 2 && segments[segments.len() - 2] == "classes" {
-        registry.contains(name)
-    } else if segments.len() == 1 {
-        local.contains(*name) || registry.contains(name)
-    } else {
-        false
-    }
-}
-
-// ---------------------------------------------------------------------------
-// Wall-clock emission lint
-// ---------------------------------------------------------------------------
-
-/// Files on the trace emission path. Every time read in these files must go
-/// through `ray_common::trace::Clock` (the single lint-audited seam), so
-/// trace timestamps stay virtualizable; a bare `Instant::now()` here would
-/// silently decouple deadlines from the trace clock.
-pub const EMISSION_PATH_FILES: &[&str] = &[
-    "crates/core/src/context.rs",
-    "crates/core/src/worker.rs",
-    "crates/core/src/node.rs",
-    "crates/core/src/lineage.rs",
-    "crates/core/src/failure.rs",
-    "crates/core/src/global_loop.rs",
-    "crates/object-store/src/transfer.rs",
-    "crates/object-store/src/store.rs",
-    "crates/gcs/src/chain.rs",
-];
-
-/// Flags direct `Instant::now(` calls in an emission-path file. Test
-/// modules are exempt (tests may measure real time); they sit at the
-/// bottom of these files behind `#[cfg(test)]`, so scanning stops there.
-pub fn lint_wall_clock(path: &Path, src: &str) -> Vec<Finding> {
-    let mut findings = Vec::new();
-    for (idx, raw_line) in src.lines().enumerate() {
-        let line = strip_line_comment(raw_line);
-        if line.contains("#[cfg(test)]")
-            || line.trim_start().starts_with("mod tests")
-        {
-            break;
-        }
-        if line.contains("Instant::now(") {
-            findings.push(Finding {
-                file: path.to_path_buf(),
-                line: idx + 1,
-                rule: "wall-clock-emission",
-                excerpt: raw_line.trim().to_string(),
-            });
-        }
-    }
-    findings
-}
-
-/// Recursively collects `.rs` files under `dir` into `out` (sorted).
-fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
-    let mut entries: Vec<_> =
-        std::fs::read_dir(dir)?.collect::<Result<Vec<_>, _>>()?;
-    entries.sort_by_key(|e| e.file_name());
-    for entry in entries {
-        let path = entry.path();
-        let ty = entry.file_type()?;
-        if ty.is_dir() {
-            if path.file_name().is_some_and(|n| n == "target") {
-                continue;
-            }
-            collect_rs_files(&path, out)?;
-        } else if path.extension().is_some_and(|e| e == "rs") {
-            out.push(path);
-        }
-    }
-    Ok(())
-}
-
-/// Result of a full lint run.
+/// Result of a legacy lint run.
 pub struct LintReport {
     pub files_scanned: usize,
     pub findings: Vec<Finding>,
 }
 
-/// Lints the whole workspace rooted at `root`: `crates/`, plus the root
-/// package's `src/`, `tests/`, and `examples/`. The wrapper module itself
-/// (`crates/common/src/sync.rs`) is the one file allowed to use the raw
-/// primitives. The lint fixtures under `xtask/tests/fixtures` are only
-/// scanned when passed explicitly.
+/// Lints the whole workspace rooted at `root` with the migrated original
+/// rules (lock discipline + wall clock). The full gate is [`run_analyze`];
+/// this remains for the `lint` alias and its tests.
 pub fn lint_workspace(root: &Path) -> std::io::Result<LintReport> {
-    let sync_path = root.join("crates/common/src/sync.rs");
-    let sync_src = std::fs::read_to_string(&sync_path)?;
-    let registry = ClassRegistry::from_sync_source(&sync_src);
-
-    let mut files = Vec::new();
-    for sub in ["crates", "src", "tests", "examples"] {
-        let dir = root.join(sub);
-        if dir.is_dir() {
-            collect_rs_files(&dir, &mut files)?;
-        }
-    }
-
-    let mut findings = Vec::new();
-    let files_scanned = files.len();
-    for file in &files {
-        let src = std::fs::read_to_string(file)?;
-        let allow_raw = file == &sync_path;
-        let rel = file.strip_prefix(root).unwrap_or(file);
-        findings.extend(lint_source(rel, &src, &registry, allow_raw));
-        let rel_str = rel.to_string_lossy();
-        if EMISSION_PATH_FILES.iter().any(|p| *p == rel_str) {
-            findings.extend(lint_wall_clock(rel, &src));
-        }
-    }
-    Ok(LintReport { files_scanned, findings })
+    let ws = walker::Workspace::load(root)?;
+    let sync_src = match ws.files.iter().find(|f| f.rel_str() == "crates/common/src/sync.rs") {
+        Some(f) => f.src.clone(),
+        None => std::fs::read_to_string(root.join("crates/common/src/sync.rs"))?,
+    };
+    let ctx = passes::AnalyzeCtx {
+        registry: ClassRegistry::from_sync_source(&sync_src),
+        design_md: None,
+        all_files_in_scope: false,
+    };
+    let mut findings = passes::locks::LockDiscipline.run(&ctx, &ws);
+    findings.extend(passes::wall_clock::WallClock.run(&ctx, &ws));
+    Ok(LintReport { files_scanned: ws.files.len(), findings })
 }
 
-/// Lints explicitly named files (no allowlist — used by the self-test and
-/// for ad-hoc checks of files outside the default walk).
+/// Lints explicitly named files with the lock-discipline rules (no
+/// allowlist — used by the self-test and ad-hoc checks).
 pub fn lint_paths(root: &Path, paths: &[PathBuf]) -> std::io::Result<LintReport> {
     let sync_src = std::fs::read_to_string(root.join("crates/common/src/sync.rs"))?;
     let registry = ClassRegistry::from_sync_source(&sync_src);
@@ -366,258 +90,6 @@ pub fn lint_paths(root: &Path, paths: &[PathBuf]) -> std::io::Result<LintReport>
         findings.extend(lint_source(file, &src, &registry, false));
     }
     Ok(LintReport { files_scanned: paths.len(), findings })
-}
-
-// ---------------------------------------------------------------------------
-// trace-check: Chrome trace_event JSON validation
-// ---------------------------------------------------------------------------
-
-/// A minimal JSON value — just enough to validate a Chrome trace file.
-/// Hand-rolled because the gate has to build offline (std only).
-#[derive(Debug, Clone, PartialEq)]
-pub enum Json {
-    Null,
-    Bool(bool),
-    Num(f64),
-    Str(String),
-    Arr(Vec<Json>),
-    Obj(Vec<(String, Json)>),
-}
-
-impl Json {
-    fn get(&self, key: &str) -> Option<&Json> {
-        match self {
-            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
-            _ => None,
-        }
-    }
-}
-
-struct JsonParser<'a> {
-    bytes: &'a [u8],
-    pos: usize,
-}
-
-impl<'a> JsonParser<'a> {
-    fn new(src: &'a str) -> JsonParser<'a> {
-        JsonParser { bytes: src.as_bytes(), pos: 0 }
-    }
-
-    fn err(&self, msg: &str) -> String {
-        format!("{msg} at byte {}", self.pos)
-    }
-
-    fn skip_ws(&mut self) {
-        while self.pos < self.bytes.len()
-            && matches!(self.bytes[self.pos], b' ' | b'\t' | b'\n' | b'\r')
-        {
-            self.pos += 1;
-        }
-    }
-
-    fn peek(&self) -> Option<u8> {
-        self.bytes.get(self.pos).copied()
-    }
-
-    fn eat(&mut self, c: u8) -> Result<(), String> {
-        if self.peek() == Some(c) {
-            self.pos += 1;
-            Ok(())
-        } else {
-            Err(self.err(&format!("expected '{}'", c as char)))
-        }
-    }
-
-    fn parse_value(&mut self) -> Result<Json, String> {
-        self.skip_ws();
-        match self.peek() {
-            Some(b'{') => self.parse_object(),
-            Some(b'[') => self.parse_array(),
-            Some(b'"') => Ok(Json::Str(self.parse_string()?)),
-            Some(b't') => self.parse_lit("true", Json::Bool(true)),
-            Some(b'f') => self.parse_lit("false", Json::Bool(false)),
-            Some(b'n') => self.parse_lit("null", Json::Null),
-            Some(c) if c == b'-' || c.is_ascii_digit() => self.parse_number(),
-            _ => Err(self.err("expected a JSON value")),
-        }
-    }
-
-    fn parse_lit(&mut self, lit: &str, v: Json) -> Result<Json, String> {
-        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
-            self.pos += lit.len();
-            Ok(v)
-        } else {
-            Err(self.err(&format!("expected '{lit}'")))
-        }
-    }
-
-    fn parse_number(&mut self) -> Result<Json, String> {
-        let start = self.pos;
-        if self.peek() == Some(b'-') {
-            self.pos += 1;
-        }
-        while self
-            .peek()
-            .is_some_and(|c| c.is_ascii_digit() || matches!(c, b'.' | b'e' | b'E' | b'+' | b'-'))
-        {
-            self.pos += 1;
-        }
-        std::str::from_utf8(&self.bytes[start..self.pos])
-            .ok()
-            .and_then(|s| s.parse::<f64>().ok())
-            .map(Json::Num)
-            .ok_or_else(|| self.err("bad number"))
-    }
-
-    fn parse_string(&mut self) -> Result<String, String> {
-        self.eat(b'"')?;
-        let mut out = String::new();
-        loop {
-            match self.peek() {
-                None => return Err(self.err("unterminated string")),
-                Some(b'"') => {
-                    self.pos += 1;
-                    return Ok(out);
-                }
-                Some(b'\\') => {
-                    self.pos += 1;
-                    let esc = self.peek().ok_or_else(|| self.err("bad escape"))?;
-                    self.pos += 1;
-                    match esc {
-                        b'"' => out.push('"'),
-                        b'\\' => out.push('\\'),
-                        b'/' => out.push('/'),
-                        b'n' => out.push('\n'),
-                        b't' => out.push('\t'),
-                        b'r' => out.push('\r'),
-                        b'b' => out.push('\u{8}'),
-                        b'f' => out.push('\u{c}'),
-                        b'u' => {
-                            if self.pos + 4 > self.bytes.len() {
-                                return Err(self.err("bad \\u escape"));
-                            }
-                            let hex = std::str::from_utf8(&self.bytes[self.pos..self.pos + 4])
-                                .map_err(|_| self.err("bad \\u escape"))?;
-                            let code = u32::from_str_radix(hex, 16)
-                                .map_err(|_| self.err("bad \\u escape"))?;
-                            // Surrogates render as the replacement char;
-                            // fine for validation purposes.
-                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
-                            self.pos += 4;
-                        }
-                        _ => return Err(self.err("unknown escape")),
-                    }
-                }
-                Some(_) => {
-                    // Consume one UTF-8 scalar (the input came from &str,
-                    // so boundaries are valid).
-                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
-                        .map_err(|_| self.err("invalid utf-8"))?;
-                    let ch = rest.chars().next().ok_or_else(|| self.err("eof"))?;
-                    out.push(ch);
-                    self.pos += ch.len_utf8();
-                }
-            }
-        }
-    }
-
-    fn parse_array(&mut self) -> Result<Json, String> {
-        self.eat(b'[')?;
-        let mut items = Vec::new();
-        self.skip_ws();
-        if self.peek() == Some(b']') {
-            self.pos += 1;
-            return Ok(Json::Arr(items));
-        }
-        loop {
-            items.push(self.parse_value()?);
-            self.skip_ws();
-            match self.peek() {
-                Some(b',') => {
-                    self.pos += 1;
-                }
-                Some(b']') => {
-                    self.pos += 1;
-                    return Ok(Json::Arr(items));
-                }
-                _ => return Err(self.err("expected ',' or ']'")),
-            }
-        }
-    }
-
-    fn parse_object(&mut self) -> Result<Json, String> {
-        self.eat(b'{')?;
-        let mut fields = Vec::new();
-        self.skip_ws();
-        if self.peek() == Some(b'}') {
-            self.pos += 1;
-            return Ok(Json::Obj(fields));
-        }
-        loop {
-            self.skip_ws();
-            let key = self.parse_string()?;
-            self.skip_ws();
-            self.eat(b':')?;
-            let value = self.parse_value()?;
-            fields.push((key, value));
-            self.skip_ws();
-            match self.peek() {
-                Some(b',') => {
-                    self.pos += 1;
-                }
-                Some(b'}') => {
-                    self.pos += 1;
-                    return Ok(Json::Obj(fields));
-                }
-                _ => return Err(self.err("expected ',' or '}'")),
-            }
-        }
-    }
-}
-
-/// Parses a complete JSON document (rejecting trailing garbage).
-pub fn parse_json(src: &str) -> Result<Json, String> {
-    let mut p = JsonParser::new(src);
-    let v = p.parse_value()?;
-    p.skip_ws();
-    if p.pos != p.bytes.len() {
-        return Err(p.err("trailing data after JSON document"));
-    }
-    Ok(v)
-}
-
-/// Validates a Chrome `trace_event` JSON document: it must parse, hold a
-/// `traceEvents` array of event objects, and (when `expect_nodes` is set)
-/// contain at least one complete (`"ph":"X"`) span for each of pids
-/// `0..expect_nodes`. Returns the per-pid complete-span counts.
-pub fn trace_check(
-    src: &str,
-    expect_nodes: Option<usize>,
-) -> Result<BTreeMap<u64, usize>, String> {
-    let root = parse_json(src)?;
-    let events = match root.get("traceEvents") {
-        Some(Json::Arr(events)) => events,
-        _ => return Err("missing 'traceEvents' array".into()),
-    };
-    let mut spans_per_pid: BTreeMap<u64, usize> = BTreeMap::new();
-    for (i, ev) in events.iter().enumerate() {
-        let (Some(Json::Str(ph)), Some(Json::Num(pid))) = (ev.get("ph"), ev.get("pid")) else {
-            return Err(format!("event {i} lacks string 'ph' / numeric 'pid'"));
-        };
-        if ph == "X" {
-            *spans_per_pid.entry(*pid as u64).or_default() += 1;
-        }
-    }
-    if let Some(n) = expect_nodes {
-        for pid in 0..n as u64 {
-            if !spans_per_pid.contains_key(&pid) {
-                return Err(format!(
-                    "no complete ('X') span for node {pid}; spans per pid: {spans_per_pid:?}"
-                ));
-            }
-        }
-    }
-    Ok(spans_per_pid)
 }
 
 #[cfg(test)]

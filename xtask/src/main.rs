@@ -1,10 +1,21 @@
+//! `cargo run -p xtask -- analyze [--json] [--update-ratchet] [FILES...]`
+//!
+//! With no file arguments, walks the whole workspace, runs every static
+//! analysis pass (lock discipline, wall clock, lock order, determinism,
+//! panic freedom, sleep poll, trace coverage), applies the
+//! `xtask/analyze.allow` ratchet, and exits non-zero on any denied
+//! finding. With explicit file arguments, analyzes only those files with
+//! every path-scoped rule in scope and no allowlist (used by the fixture
+//! self-tests).
+//!
+//! `--json` emits one machine-readable JSON document on stdout.
+//! `--update-ratchet` rewrites the allowlist budgets to the actual
+//! finding counts (dropping fully burned-down entries), then reports.
+//!
 //! `cargo run -p xtask -- lint [FILES...]`
 //!
-//! With no arguments after `lint`, walks the whole workspace (see
-//! [`xtask::lint_workspace`]) and exits non-zero if any lock-discipline or
-//! wall-clock-emission violation is found. With explicit file arguments,
-//! lints only those files and applies no allowlist (used by the fixture
-//! self-test).
+//! Legacy alias: runs only the migrated original rules (lock discipline +
+//! wall clock), same output shape as before.
 //!
 //! `cargo run -p xtask -- trace-check <trace.json> [--expect-nodes N]`
 //!
@@ -27,6 +38,56 @@ fn workspace_root() -> PathBuf {
 fn main() -> ExitCode {
     let mut args = std::env::args().skip(1);
     match args.next().as_deref() {
+        Some("analyze") => {
+            let mut json = false;
+            let mut ratchet = false;
+            let mut files: Vec<PathBuf> = Vec::new();
+            for a in args {
+                match a.as_str() {
+                    "--json" => json = true,
+                    "--update-ratchet" => ratchet = true,
+                    _ => files.push(PathBuf::from(a)),
+                }
+            }
+            let root = workspace_root();
+            let report = if files.is_empty() {
+                xtask::run_analyze(&root)
+            } else {
+                xtask::run_analyze_paths(&root, &files)
+            };
+            let report = match report {
+                Ok(r) => r,
+                Err(e) => {
+                    eprintln!("analyze: error: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            if ratchet {
+                if !files.is_empty() {
+                    eprintln!("analyze: --update-ratchet only applies to full workspace runs");
+                    return ExitCode::FAILURE;
+                }
+                match xtask::update_ratchet(&root, &report) {
+                    Ok(n) => {
+                        eprintln!("analyze: ratchet rewritten ({n} budget line(s) remain)");
+                        // Re-run so the reported status reflects the new
+                        // budgets.
+                        match xtask::run_analyze(&root) {
+                            Ok(r) => return finish(&r, json),
+                            Err(e) => {
+                                eprintln!("analyze: error: {e}");
+                                return ExitCode::FAILURE;
+                            }
+                        }
+                    }
+                    Err(e) => {
+                        eprintln!("analyze: ratchet rewrite failed: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            finish(&report, json)
+        }
         Some("lint") => {
             let files: Vec<PathBuf> = args.map(PathBuf::from).collect();
             let root = workspace_root();
@@ -107,10 +168,31 @@ fn main() -> ExitCode {
         }
         other => {
             eprintln!(
-                "usage: cargo run -p xtask -- lint [FILES...]\n\
+                "usage: cargo run -p xtask -- analyze [--json] [--update-ratchet] [FILES...]\n\
+                 \x20      cargo run -p xtask -- lint [FILES...]\n\
                  \x20      cargo run -p xtask -- trace-check <trace.json> [--expect-nodes N]\n\
                  (got {other:?})"
             );
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn finish(report: &xtask::AnalyzeReport, json: bool) -> ExitCode {
+    if json {
+        println!("{}", xtask::render_json(report));
+        if report.is_clean() {
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::FAILURE
+        }
+    } else {
+        let (text, code) = xtask::render_text(report);
+        if code == 0 {
+            print!("{text}");
+            ExitCode::SUCCESS
+        } else {
+            eprint!("{text}");
             ExitCode::FAILURE
         }
     }

@@ -1,0 +1,241 @@
+//! **hash-iteration** — the determinism pass.
+//!
+//! Iterating a `HashMap`/`HashSet` yields a different order every process
+//! (SipHash with a random seed). On trace-emission, signature, and GCS
+//! flush/replay paths that order leaks into observable output and
+//! silently threatens the same-seed trace-signature guarantee (PR 3) and
+//! byte-stable flush/replay (PR 4). On those paths iteration must go
+//! through `BTreeMap`/`BTreeSet` or an explicit sort; order-independent
+//! folds (sums, counts) get an allowlist budget with a reason instead.
+//!
+//! Detection: collect every identifier declared or constructed as a
+//! `HashMap`/`HashSet` in the file (let bindings, struct fields, typed
+//! params), then flag iteration-shaped uses — `.iter()`, `.keys()`,
+//! `.values()`, `.drain(..)`, `.retain(..)`, `.into_iter()`, and
+//! `for .. in` — whose receiver chain passes through one of them. Point
+//! lookups (`get`, `insert`, `remove`, `contains_key`) stay legal:
+//! they are order-independent.
+
+use std::collections::BTreeSet;
+
+use crate::findings::Finding;
+use crate::walker::{code_of, ident_chain_before, SourceFile, Workspace};
+
+use super::{AnalyzeCtx, Pass};
+
+/// Files on a determinism-sensitive path: trace emission + signature,
+/// Chrome export, GCS flush/replay/recovery, and the consistency checker
+/// whose violation reports feed test output.
+pub const DETERMINISM_PATH_FILES: &[&str] = &[
+    "crates/common/src/trace.rs",
+    "crates/common/src/metrics.rs",
+    "crates/gcs/src/flush.rs",
+    "crates/gcs/src/kv.rs",
+    "crates/gcs/src/tables.rs",
+    "crates/gcs/src/replica.rs",
+    "crates/gcs/src/chain.rs",
+    "crates/gcs/src/check.rs",
+];
+
+const ITERATION_METHODS: &[&str] = &[
+    ".iter()",
+    ".iter_mut()",
+    ".keys()",
+    ".values()",
+    ".values_mut()",
+    ".into_iter()",
+    ".drain(",
+    ".retain(",
+];
+
+pub struct Determinism;
+
+impl Pass for Determinism {
+    fn name(&self) -> &'static str {
+        "determinism"
+    }
+
+    fn rules(&self) -> &'static [&'static str] {
+        &["hash-iteration"]
+    }
+
+    fn run(&self, ctx: &AnalyzeCtx, ws: &Workspace) -> Vec<Finding> {
+        let mut findings = Vec::new();
+        for file in &ws.files {
+            if !ctx.in_scope(file, DETERMINISM_PATH_FILES) {
+                continue;
+            }
+            findings.extend(check_file(file));
+        }
+        findings
+    }
+}
+
+/// Flags hash-iteration sites in one file (non-test region).
+pub fn check_file(file: &SourceFile) -> Vec<Finding> {
+    let bindings: BTreeSet<String> = hash_bindings(&file.src);
+    if bindings.is_empty() {
+        return Vec::new();
+    }
+    let limit = file.non_test_line_count();
+    let mut findings = Vec::new();
+    for (idx, raw) in file.src.lines().enumerate() {
+        if idx >= limit {
+            break;
+        }
+        let code = code_of(raw);
+        let flag = |findings: &mut Vec<Finding>| {
+            findings.push(Finding {
+                file: file.rel.clone(),
+                line: idx + 1,
+                rule: "hash-iteration",
+                excerpt: raw.trim().to_string(),
+            });
+        };
+
+        let mut flagged = false;
+        for pat in ITERATION_METHODS {
+            let mut search = 0usize;
+            while let Some(pos) = code[search..].find(pat) {
+                let at = search + pos;
+                // End of the receiver chain: just before the method name.
+                let method_end = at + pat.trim_end_matches(['(', ')']).len();
+                let chain = ident_chain_before(&code, method_end.min(code.len()));
+                // Last element is the method itself; any earlier element
+                // naming a hash collection flags the line.
+                if chain.len() >= 2
+                    && chain[..chain.len() - 1].iter().any(|id| bindings.contains(id))
+                {
+                    flag(&mut findings);
+                    flagged = true;
+                    break;
+                }
+                search = at + pat.len();
+            }
+            if flagged {
+                break;
+            }
+        }
+        if flagged {
+            continue;
+        }
+
+        // `for x in expr` / `for x in &expr`: flag when the iterated
+        // expression names a hash collection.
+        if let Some(pos) = find_word(&code, "for") {
+            // ` in ` carries its own word boundaries (the spaces).
+            if let Some(in_pos) = code[pos..].find(" in ") {
+                let expr = &code[pos + in_pos + 4..];
+                let expr = expr.split('{').next().unwrap_or(expr);
+                for token in expr
+                    .split(|c: char| !(c.is_ascii_alphanumeric() || c == '_'))
+                    .filter(|t| !t.is_empty())
+                {
+                    if bindings.contains(token) {
+                        flag(&mut findings);
+                        break;
+                    }
+                }
+            }
+        }
+    }
+    findings
+}
+
+/// Identifiers declared or constructed as `HashMap`/`HashSet` in this
+/// file: `let NAME = HashMap::new()`, `NAME: HashMap<..>` (fields,
+/// params, typed lets), `NAME = HashMap::with_capacity(..)`.
+fn hash_bindings(src: &str) -> BTreeSet<String> {
+    let mut out = BTreeSet::new();
+    for raw in src.lines() {
+        let code = code_of(raw);
+        for marker in ["HashMap", "HashSet"] {
+            let mut search = 0usize;
+            while let Some(pos) = code[search..].find(marker) {
+                let at = search + pos;
+                search = at + marker.len();
+                // Identifier boundary on the left (skip e.g. `MyHashMap`
+                // and `use std::collections::HashMap;` handled below).
+                let before = code[..at].chars().next_back();
+                if before.is_some_and(|c| c.is_ascii_alphanumeric() || c == '_') {
+                    continue;
+                }
+                if let Some(name) = name_from_decl_prefix(&code[..at]) {
+                    out.insert(name);
+                }
+            }
+        }
+    }
+    out
+}
+
+/// The declared name a `HashMap`-mentioning line binds: the identifier
+/// before a trailing `:` (struct field, fn param, typed let) or between
+/// `let [mut]` and `=` (inferred let with a `HashMap::new()` initializer).
+fn name_from_decl_prefix(prefix: &str) -> Option<String> {
+    let mut trimmed = prefix.trim_end();
+    // Strip reference/mutability noise so `NAME: &mut HashMap<..>` params
+    // still register NAME.
+    loop {
+        if let Some(rest) = trimmed.strip_suffix('&') {
+            trimmed = rest.trim_end();
+            continue;
+        }
+        if let Some(rest) = trimmed.strip_suffix("mut") {
+            if rest.is_empty() || rest.ends_with([' ', '&', '(', ',']) {
+                trimmed = rest.trim_end();
+                continue;
+            }
+        }
+        break;
+    }
+    // `NAME: HashMap<..>` — field, param, or typed binding.
+    if let Some(rest) = trimmed.strip_suffix(':') {
+        let name = last_ident(rest)?;
+        return Some(name);
+    }
+    // `let [mut] NAME = HashMap::new()` / `NAME = HashMap::with_capacity(..)`.
+    if let Some(rest) = trimmed.strip_suffix('=') {
+        let name = last_ident(rest)?;
+        if name != "=" {
+            return Some(name);
+        }
+    }
+    None
+}
+
+/// The trailing identifier of `s`, if `s` ends with one.
+fn last_ident(s: &str) -> Option<String> {
+    let s = s.trim_end();
+    let end = s.len();
+    let start = s
+        .char_indices()
+        .rev()
+        .take_while(|(_, c)| c.is_ascii_alphanumeric() || *c == '_')
+        .last()
+        .map(|(i, _)| i)?;
+    let ident = &s[start..end];
+    if ident.is_empty() || ident.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+        return None;
+    }
+    Some(ident.to_string())
+}
+
+fn find_word(haystack: &str, needle: &str) -> Option<usize> {
+    let mut start = 0;
+    while let Some(pos) = haystack[start..].find(needle) {
+        let at = start + pos;
+        let before_ok = at == 0
+            || !haystack.as_bytes()[at - 1].is_ascii_alphanumeric()
+                && haystack.as_bytes()[at - 1] != b'_';
+        let end = at + needle.len();
+        let after_ok = end >= haystack.len()
+            || !haystack.as_bytes()[end].is_ascii_alphanumeric()
+                && haystack.as_bytes()[end] != b'_';
+        if before_ok && after_ok {
+            return Some(at);
+        }
+        start = at + needle.len();
+    }
+    None
+}

@@ -1,0 +1,69 @@
+//! The pass framework: one trait, one context, one registry of passes.
+//!
+//! A pass sees the whole read-once [`Workspace`] and returns findings; a
+//! pass that only cares about single files just loops. Path-scoped passes
+//! (wall-clock, determinism, panic-freedom) consult their scope lists
+//! through [`AnalyzeCtx::in_scope`], which explicit-file runs (fixture
+//! self-tests) override so every given file is in scope for every rule.
+//!
+//! Adding a rule (see DESIGN.md §13): write a module with a type
+//! implementing [`Pass`], add it to [`all_passes`], give it a fixture
+//! with one seeded violation in `xtask/tests/fixtures/`, and extend the
+//! fixture self-test.
+
+pub mod determinism;
+pub mod lock_order;
+pub mod locks;
+pub mod panic_free;
+pub mod sleep_poll;
+pub mod trace_coverage;
+pub mod wall_clock;
+
+use crate::findings::Finding;
+use crate::registry::ClassRegistry;
+use crate::walker::{SourceFile, Workspace};
+
+/// Shared, read-only context handed to every pass.
+pub struct AnalyzeCtx {
+    /// The central lock-class rank registry (from `sync.rs`).
+    pub registry: ClassRegistry,
+    /// DESIGN.md contents, when present (rank-table drift check).
+    pub design_md: Option<String>,
+    /// Explicit-file mode: path scope lists are ignored and every file is
+    /// in scope for every path-scoped rule (fixture self-tests).
+    pub all_files_in_scope: bool,
+}
+
+impl AnalyzeCtx {
+    /// Whether `file` is within `paths` scope for a path-scoped pass.
+    pub fn in_scope(&self, file: &SourceFile, paths: &[&str]) -> bool {
+        if self.all_files_in_scope {
+            return true;
+        }
+        let rel = file.rel_str();
+        paths.iter().any(|p| rel == *p || rel.starts_with(&format!("{p}/")))
+    }
+}
+
+/// One analysis pass.
+pub trait Pass {
+    /// Short machine name, e.g. `lock-order`.
+    fn name(&self) -> &'static str;
+    /// The rule identifiers this pass can emit.
+    fn rules(&self) -> &'static [&'static str];
+    /// Runs over the whole workspace.
+    fn run(&self, ctx: &AnalyzeCtx, ws: &Workspace) -> Vec<Finding>;
+}
+
+/// Every pass, in reporting order.
+pub fn all_passes() -> Vec<Box<dyn Pass>> {
+    vec![
+        Box::new(locks::LockDiscipline),
+        Box::new(wall_clock::WallClock),
+        Box::new(lock_order::LockOrder),
+        Box::new(determinism::Determinism),
+        Box::new(panic_free::PanicFree),
+        Box::new(sleep_poll::SleepPoll),
+        Box::new(trace_coverage::TraceCoverage),
+    ]
+}

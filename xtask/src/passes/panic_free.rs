@@ -1,0 +1,145 @@
+//! **panic-freedom** — non-test library code of the runtime crates must
+//! not contain implicit panic sites. A worker thread that panics poisons
+//! nothing (our `OrderedMutex` is poison-free) but silently dies, and the
+//! paper's fault-tolerance story depends on failures being *observed*
+//! (heartbeat timeout → lineage re-execution), not swallowed. Explicit
+//! invariants are still allowed, but must say so:
+//! `expect("invariant: ...")` documents the proof obligation.
+//!
+//! Two rules:
+//!
+//! * `panic-freedom` — `.unwrap()`, `.expect(..)` without an
+//!   `"invariant: "` message, `panic!`, `unreachable!`, `todo!`,
+//!   `unimplemented!` in non-test code.
+//! * `slice-index` — direct `expr[index]` indexing, which panics out of
+//!   bounds; use `.get(..)` or document via the allowlist.
+//!
+//! Existing sites are held by the burn-down allowlist
+//! (`xtask/analyze.allow`); the budget only ratchets down.
+
+use crate::findings::Finding;
+use crate::walker::{code_of, SourceFile, Workspace};
+
+use super::{AnalyzeCtx, Pass};
+
+/// Crates whose library code must be panic-free.
+pub const PANIC_FREE_CRATES: &[&str] = &[
+    "crates/core/src",
+    "crates/gcs/src",
+    "crates/scheduler/src",
+    "crates/object-store/src",
+];
+
+pub struct PanicFree;
+
+impl Pass for PanicFree {
+    fn name(&self) -> &'static str {
+        "panic-free"
+    }
+
+    fn rules(&self) -> &'static [&'static str] {
+        &["panic-freedom", "slice-index"]
+    }
+
+    fn run(&self, ctx: &AnalyzeCtx, ws: &Workspace) -> Vec<Finding> {
+        let mut findings = Vec::new();
+        for file in &ws.files {
+            if !ctx.in_scope(file, PANIC_FREE_CRATES) {
+                continue;
+            }
+            findings.extend(check_file(file));
+        }
+        findings
+    }
+}
+
+/// Flags panic sites in one file's non-test region.
+pub fn check_file(file: &SourceFile) -> Vec<Finding> {
+    let limit = file.non_test_line_count();
+    let mut findings = Vec::new();
+    for (idx, raw) in file.src.lines().enumerate() {
+        if idx >= limit {
+            break;
+        }
+        let code = code_of(raw);
+        let trimmed = code.trim_start();
+        // assert! family is a deliberate, loud check — not a silent panic
+        // site; debug_assert! compiles out of release builds.
+        if trimmed.starts_with("assert!")
+            || trimmed.starts_with("assert_eq!")
+            || trimmed.starts_with("assert_ne!")
+            || trimmed.starts_with("debug_assert")
+        {
+            continue;
+        }
+        let mut push = |rule: &'static str| {
+            findings.push(Finding {
+                file: file.rel.clone(),
+                line: idx + 1,
+                rule,
+                excerpt: raw.trim().to_string(),
+            });
+        };
+
+        if code.contains(".unwrap()") {
+            push("panic-freedom");
+        }
+        if let Some(pos) = code.find(".expect(") {
+            // `expect("invariant: ...")` documents a proof obligation and
+            // is allowed. Check against the *raw* line: literals are
+            // blanked in `code`.
+            let documented = raw[pos..].contains(".expect(\"invariant: ");
+            if !documented {
+                push("panic-freedom");
+            }
+        }
+        for mac in ["panic!(", "unreachable!(", "todo!(", "unimplemented!("] {
+            if let Some(pos) = code.find(mac) {
+                let boundary = pos == 0 || {
+                    let b = code.as_bytes()[pos - 1];
+                    !b.is_ascii_alphanumeric() && b != b'_'
+                };
+                if boundary {
+                    push("panic-freedom");
+                }
+            }
+        }
+
+        if has_slice_index(&code) {
+            push("slice-index");
+        }
+    }
+    findings
+}
+
+/// Detects `ident[expr]` / `)[expr]` indexing. Skips attribute lines
+/// (`#[...]`), macro brackets (`vec![`), and `[0..4]`-style range slicing
+/// of byte buffers is still flagged (it panics the same way).
+fn has_slice_index(code: &str) -> bool {
+    let bytes = code.as_bytes();
+    let trimmed = code.trim_start();
+    if trimmed.starts_with("#[") || trimmed.starts_with("#![") {
+        return false;
+    }
+    for (i, &b) in bytes.iter().enumerate() {
+        if b != b'[' || i == 0 {
+            continue;
+        }
+        let prev = bytes[i - 1];
+        // `ident[` or `)[` or `][` — an index expression. `!` excludes
+        // macros (`vec![`), `#` attributes, whitespace excludes array
+        // literals (`= [`, `&[`, `(` etc. are not index positions).
+        let indexes = prev.is_ascii_alphanumeric() || prev == b'_' || prev == b')' || prev == b']';
+        if !indexes {
+            continue;
+        }
+        // Array *type* syntax `[u8; 4]` never follows an ident directly,
+        // so no further filtering needed; but `&arr[..]` full-range
+        // reslicing cannot panic — skip exact `[..]`.
+        if code[i..].starts_with("[..]") {
+            continue;
+        }
+        return true;
+    }
+    false
+}

@@ -1,0 +1,116 @@
+//! **sleep-in-loop** — `thread::sleep` inside a loop body is a poll.
+//! Polls burn latency (half the sleep interval on average) and CPU, and
+//! they hide ordering bugs that a condvar wait would surface. The repo's
+//! `sync` layer exposes `Condvar`-backed waiting (`OrderedCondvar`,
+//! `wait_while_timeout`) — loops should block on a condition, not nap.
+//!
+//! Deliberate cadence loops (the GCS flusher interval, heartbeat pacing,
+//! chaos-injection jitter) carry an allowlist budget with a reason.
+
+use crate::findings::Finding;
+use crate::walker::{brace_depth_step, code_of, SourceFile, Workspace};
+
+use super::{AnalyzeCtx, Pass};
+
+/// Crates whose runtime loops must not sleep-poll. Simulation crates
+/// (bench, rl, bsp examples) model time with sleeps by design and are
+/// out of scope.
+pub const SLEEP_POLL_SCOPE: &[&str] = &[
+    "crates/core/src",
+    "crates/gcs/src",
+    "crates/scheduler/src",
+    "crates/object-store/src",
+    "crates/transport/src",
+    "crates/common/src",
+    "src",
+];
+
+pub struct SleepPoll;
+
+impl Pass for SleepPoll {
+    fn name(&self) -> &'static str {
+        "sleep-poll"
+    }
+
+    fn rules(&self) -> &'static [&'static str] {
+        &["sleep-in-loop"]
+    }
+
+    fn run(&self, ctx: &AnalyzeCtx, ws: &Workspace) -> Vec<Finding> {
+        let mut findings = Vec::new();
+        for file in &ws.files {
+            if !ctx.in_scope(file, SLEEP_POLL_SCOPE) {
+                continue;
+            }
+            findings.extend(check_file(file));
+        }
+        findings
+    }
+}
+
+/// Flags `thread::sleep` calls lexically inside a `loop`/`while`/`for`
+/// body in the file's non-test region.
+pub fn check_file(file: &SourceFile) -> Vec<Finding> {
+    let limit = file.non_test_line_count();
+    let mut findings = Vec::new();
+    // Brace depths at which a loop body opened; a sleep while this stack
+    // is non-empty is inside a loop.
+    let mut loop_stack: Vec<i32> = Vec::new();
+    let mut depth: i32 = 0;
+    // A loop keyword seen whose `{` has not arrived yet (condition spans
+    // lines).
+    let mut pending_loop = false;
+
+    for (idx, raw) in file.src.lines().enumerate() {
+        if idx >= limit {
+            break;
+        }
+        let code = code_of(raw);
+        let starts_loop = is_loop_header(&code);
+
+        if (starts_loop || pending_loop) && code.contains('{') {
+            // The loop body opens at the depth after this line's first `{`.
+            loop_stack.push(depth + 1);
+            pending_loop = false;
+        } else if starts_loop {
+            pending_loop = true;
+        }
+
+        let (after, _min) = brace_depth_step(&code, depth);
+
+        // `depth.max(after)` catches a sleep on the same line that opens
+        // the loop (`while x { thread::sleep(..); }`).
+        if (code.contains("thread::sleep(") || code.contains("sleep(Duration"))
+            && loop_stack.last().is_some_and(|open| depth.max(after) >= *open)
+        {
+            findings.push(Finding {
+                file: file.rel.clone(),
+                line: idx + 1,
+                rule: "sleep-in-loop",
+                excerpt: raw.trim().to_string(),
+            });
+        }
+
+        depth = after;
+        while loop_stack.last().is_some_and(|open| depth < *open) {
+            loop_stack.pop();
+        }
+    }
+    findings
+}
+
+/// Whether a line opens a loop: `loop {`, `while ...`, `for ... in ...`.
+fn is_loop_header(code: &str) -> bool {
+    let t = code.trim_start();
+    t == "loop"
+        || t.starts_with("loop ")
+        || t.starts_with("loop{")
+        || t.starts_with("while ")
+        || t.starts_with("while(")
+        || t.starts_with("for ")
+        || t.strip_prefix("'").is_some_and(|rest| {
+            // labeled loop: `'outer: loop {`
+            rest.split_once(':')
+                .is_some_and(|(_, after)| is_loop_header(after))
+        })
+}

@@ -1,0 +1,202 @@
+//! **trace-coverage** — every `TraceEventKind` variant must be (a)
+//! emitted somewhere in runtime code and (b) asserted somewhere in a
+//! test. A trace kind nobody emits is dead schema; a kind nobody asserts
+//! is untested observability — PR 5's postmortem found exactly that
+//! (spill/eviction events silently vanished for two PRs because no test
+//! pinned them).
+//!
+//! Rules:
+//! * `trace-kind-unemitted` — variant never constructed in non-test
+//!   runtime code.
+//! * `trace-kind-unasserted` — variant never named in any test file or
+//!   `#[cfg(test)]` region. Assertion helpers that imply coverage of
+//!   specific kinds (`deps_fetched_before_running`,
+//!   `reconstructed_exactly`) count for the kinds they check.
+
+use std::collections::BTreeMap;
+
+use crate::findings::Finding;
+use crate::walker::{code_of, Workspace};
+
+use super::{AnalyzeCtx, Pass};
+
+/// The file defining the trace schema.
+pub const TRACE_SCHEMA_FILE: &str = "crates/common/src/trace.rs";
+
+/// Helper methods on `TraceAssert` that assert specific kinds without
+/// naming them: calling the helper in a test covers the listed variants.
+const ASSERT_HELPERS: &[(&str, &[&str])] = &[
+    ("deps_fetched_before_running(", &["DepsFetched", "Running"]),
+    ("reconstructed_exactly(", &["Reconstructing"]),
+];
+
+pub struct TraceCoverage;
+
+impl Pass for TraceCoverage {
+    fn name(&self) -> &'static str {
+        "trace-coverage"
+    }
+
+    fn rules(&self) -> &'static [&'static str] {
+        &["trace-kind-unemitted", "trace-kind-unasserted"]
+    }
+
+    fn run(&self, _ctx: &AnalyzeCtx, ws: &Workspace) -> Vec<Finding> {
+        check_workspace(ws)
+    }
+}
+
+/// Runs the coverage check over a workspace. No-op when no file defines
+/// `enum TraceEventKind` (explicit-file runs without the schema).
+pub fn check_workspace(ws: &Workspace) -> Vec<Finding> {
+    let Some((schema_file, variants)) = find_variants(ws) else {
+        return Vec::new();
+    };
+
+    // variant -> (emitted, asserted)
+    let mut cov: BTreeMap<&str, (bool, bool)> = variants
+        .iter()
+        .map(|(name, _)| (name.as_str(), (false, false)))
+        .collect();
+
+    for file in &ws.files {
+        let is_schema = file.rel_str() == schema_file;
+        let limit = file.non_test_line_count();
+        for (idx, raw) in file.src.lines().enumerate() {
+            let code = code_of(raw);
+            // A mention in a test file or a #[cfg(test)] region asserts;
+            // a mention in runtime code emits. The schema file's own
+            // declaration lines count as neither.
+            let on_test_side = file.is_test_file() || idx >= limit;
+            for (name, slot) in cov.iter_mut() {
+                let pat = format!("::{name}");
+                if mentions(&code, &pat, name) {
+                    if is_schema && !on_test_side && is_declaration_context(&code, name) {
+                        continue;
+                    }
+                    if on_test_side {
+                        slot.1 = true;
+                    } else {
+                        slot.0 = true;
+                    }
+                }
+            }
+            if on_test_side {
+                for (helper, covered) in ASSERT_HELPERS {
+                    if code.contains(helper) {
+                        for name in *covered {
+                            if let Some(slot) = cov.get_mut(name) {
+                                slot.1 = true;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    let mut findings = Vec::new();
+    for (name, decl_line) in &variants {
+        let (emitted, asserted) = cov[name.as_str()];
+        let mut push = |rule: &'static str| {
+            findings.push(Finding {
+                file: std::path::PathBuf::from(&schema_file),
+                line: *decl_line,
+                rule,
+                excerpt: name.clone(),
+            });
+        };
+        if !emitted {
+            push("trace-kind-unemitted");
+        }
+        if !asserted {
+            push("trace-kind-unasserted");
+        }
+    }
+    findings
+}
+
+/// Finds the file declaring `enum TraceEventKind` and its variant names
+/// with declaration line numbers.
+fn find_variants(ws: &Workspace) -> Option<(String, Vec<(String, usize)>)> {
+    for file in &ws.files {
+        if let Some(variants) = parse_enum_variants(&file.src, "TraceEventKind") {
+            return Some((file.rel_str().to_string(), variants));
+        }
+    }
+    None
+}
+
+/// Parses the variants of `enum NAME { .. }` from source. Returns None
+/// when the enum is not declared in this source.
+pub fn parse_enum_variants(src: &str, name: &str) -> Option<Vec<(String, usize)>> {
+    let header = format!("enum {name}");
+    let mut in_body = false;
+    let mut depth = 0i32;
+    let mut variants = Vec::new();
+    for (idx, raw) in src.lines().enumerate() {
+        let code = code_of(raw);
+        if !in_body {
+            if code.contains(&header) && code.contains('{') {
+                in_body = true;
+                depth = 1;
+            }
+            continue;
+        }
+        // Track nesting: struct-variant payloads `Foo { a: u32 },` nest.
+        let trimmed = code.trim();
+        if depth == 1 {
+            let ident: String = trimmed
+                .chars()
+                .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
+                .collect();
+            if !ident.is_empty() && ident.chars().next().is_some_and(|c| c.is_ascii_uppercase()) {
+                variants.push((ident, idx + 1));
+            }
+        }
+        for c in trimmed.chars() {
+            match c {
+                '{' => depth += 1,
+                '}' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return Some(variants);
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    if in_body {
+        Some(variants)
+    } else {
+        None
+    }
+}
+
+/// Whether `code` names the variant as `...::Name` with a word boundary
+/// after it.
+fn mentions(code: &str, pat: &str, name: &str) -> bool {
+    let mut search = 0usize;
+    while let Some(pos) = code[search..].find(pat) {
+        let at = search + pos;
+        let end = at + 2 + name.len();
+        let after_ok = end >= code.len() || {
+            let b = code.as_bytes()[end];
+            !b.is_ascii_alphanumeric() && b != b'_'
+        };
+        if after_ok {
+            return true;
+        }
+        search = at + pat.len();
+    }
+    false
+}
+
+/// Inside the schema file, lines like `TraceEventKind::Foo => "foo"` in
+/// Display impls or `kind: TraceEventKind::Foo` in constructors are
+/// runtime *plumbing*, not emission. Heuristic: a match arm mapping the
+/// variant to a string (`=>`) in the schema file is declaration context.
+fn is_declaration_context(code: &str, _name: &str) -> bool {
+    code.contains("=>")
+}

@@ -1,0 +1,71 @@
+//! **wall-clock-emission** — trace-emission-path files may not call
+//! `Instant::now()` directly; every time read goes through
+//! `ray_common::trace::Clock` (the single lint-audited seam) so trace
+//! timestamps stay virtualizable.
+
+use std::path::Path;
+
+use crate::findings::Finding;
+use crate::walker::{strip_line_comment, Workspace};
+
+use super::{AnalyzeCtx, Pass};
+
+/// Files on the trace emission path.
+pub const EMISSION_PATH_FILES: &[&str] = &[
+    "crates/core/src/context.rs",
+    "crates/core/src/worker.rs",
+    "crates/core/src/node.rs",
+    "crates/core/src/lineage.rs",
+    "crates/core/src/failure.rs",
+    "crates/core/src/global_loop.rs",
+    "crates/object-store/src/transfer.rs",
+    "crates/object-store/src/store.rs",
+    "crates/gcs/src/chain.rs",
+];
+
+pub struct WallClock;
+
+impl Pass for WallClock {
+    fn name(&self) -> &'static str {
+        "wall-clock"
+    }
+
+    fn rules(&self) -> &'static [&'static str] {
+        &["wall-clock-emission"]
+    }
+
+    fn run(&self, ctx: &AnalyzeCtx, ws: &Workspace) -> Vec<Finding> {
+        let mut findings = Vec::new();
+        for file in &ws.files {
+            if file.is_test_file() && !ctx.all_files_in_scope {
+                continue;
+            }
+            if ctx.in_scope(file, EMISSION_PATH_FILES) {
+                findings.extend(lint_wall_clock(&file.rel, &file.src));
+            }
+        }
+        findings
+    }
+}
+
+/// Flags direct `Instant::now(` calls in an emission-path file. Test
+/// modules are exempt (tests may measure real time); they sit at the
+/// bottom of these files behind `#[cfg(test)]`, so scanning stops there.
+pub fn lint_wall_clock(path: &Path, src: &str) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for (idx, raw_line) in src.lines().enumerate() {
+        let line = strip_line_comment(raw_line);
+        if line.contains("#[cfg(test)]") || line.trim_start().starts_with("mod tests") {
+            break;
+        }
+        if line.contains("Instant::now(") {
+            findings.push(Finding {
+                file: path.to_path_buf(),
+                line: idx + 1,
+                rule: "wall-clock-emission",
+                excerpt: raw_line.trim().to_string(),
+            });
+        }
+    }
+    findings
+}

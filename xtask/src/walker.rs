@@ -1,0 +1,310 @@
+//! The shared file walker and line-scanning primitives every pass builds
+//! on: one workspace read, one comment/string stripper, one brace-depth
+//! tracker. Scanning is line-oriented and intentionally dumb — no syn, no
+//! regex crate, std only — because the gate has to build offline.
+
+use std::path::{Path, PathBuf};
+
+/// One workspace source file, read once and shared by every pass.
+pub struct SourceFile {
+    /// Path relative to the workspace root (or the path as given, for
+    /// explicit-file runs), with `/` separators.
+    pub rel: PathBuf,
+    pub src: String,
+}
+
+impl SourceFile {
+    pub fn rel_str(&self) -> String {
+        self.rel.to_string_lossy().replace('\\', "/")
+    }
+
+    /// True for files that are test code in their entirety: anything under
+    /// a `tests/` directory or the lint fixtures.
+    pub fn is_test_file(&self) -> bool {
+        let rel = self.rel_str();
+        rel.split('/').any(|seg| seg == "tests") || rel.starts_with("tests/")
+    }
+
+    /// The byte length of the non-test prefix: everything before the first
+    /// `#[cfg(test)]` (repo convention keeps test modules at the bottom of
+    /// a file). Whole-file for files without one.
+    pub fn non_test_line_count(&self) -> usize {
+        for (idx, line) in self.src.lines().enumerate() {
+            if strip_line_comment(line).contains("#[cfg(test)]") {
+                return idx;
+            }
+        }
+        self.src.lines().count()
+    }
+}
+
+/// The workspace as one read-once file set.
+pub struct Workspace {
+    pub root: PathBuf,
+    pub files: Vec<SourceFile>,
+}
+
+impl Workspace {
+    /// Walks `crates/`, `src/`, `tests/`, and `examples/` under `root`.
+    /// `xtask/` itself (and therefore its fixtures) is excluded; fixtures
+    /// are only analyzed when passed explicitly.
+    pub fn load(root: &Path) -> std::io::Result<Workspace> {
+        let mut paths = Vec::new();
+        for sub in ["crates", "src", "tests", "examples"] {
+            let dir = root.join(sub);
+            if dir.is_dir() {
+                collect_rs_files(&dir, &mut paths)?;
+            }
+        }
+        let mut files = Vec::new();
+        for path in paths {
+            let src = std::fs::read_to_string(&path)?;
+            let rel = path.strip_prefix(root).unwrap_or(&path).to_path_buf();
+            files.push(SourceFile { rel, src });
+        }
+        Ok(Workspace { root: root.to_path_buf(), files })
+    }
+
+    /// Loads explicitly named files (fixture self-tests, ad-hoc checks).
+    pub fn load_paths(root: &Path, paths: &[PathBuf]) -> std::io::Result<Workspace> {
+        let mut files = Vec::new();
+        for path in paths {
+            let src = std::fs::read_to_string(path)?;
+            files.push(SourceFile { rel: path.clone(), src });
+        }
+        Ok(Workspace { root: root.to_path_buf(), files })
+    }
+}
+
+/// Recursively collects `.rs` files under `dir` into `out` (sorted).
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    let mut entries: Vec<_> = std::fs::read_dir(dir)?.collect::<Result<Vec<_>, _>>()?;
+    entries.sort_by_key(|e| e.file_name());
+    for entry in entries {
+        let path = entry.path();
+        let ty = entry.file_type()?;
+        if ty.is_dir() {
+            if path.file_name().is_some_and(|n| n == "target") {
+                continue;
+            }
+            collect_rs_files(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Drops a `//` line comment. Keeps `//` that appears inside a string
+/// literal out of scope by only cutting at a `//` with an even number of
+/// unescaped quotes before it — good enough for this codebase.
+pub fn strip_line_comment(line: &str) -> &str {
+    let bytes = line.as_bytes();
+    let mut in_str = false;
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\\' if in_str => i += 1, // skip escaped char
+            b'"' => in_str = !in_str,
+            b'/' if !in_str && i + 1 < bytes.len() && bytes[i + 1] == b'/' => {
+                return &line[..i];
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    line
+}
+
+/// Replaces the contents of string and char literals with spaces so that
+/// brace counting and pattern matching cannot be fooled by `"{"` or
+/// `'{'` (format strings are full of braces). Length is preserved, so
+/// byte offsets into the blanked line match the original.
+pub fn blank_literals(line: &str) -> String {
+    let bytes = line.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'"' => {
+                out.push(b'"');
+                i += 1;
+                while i < bytes.len() {
+                    match bytes[i] {
+                        b'\\' if i + 1 < bytes.len() => {
+                            out.push(b' ');
+                            out.push(b' ');
+                            i += 2;
+                        }
+                        b'"' => {
+                            out.push(b'"');
+                            i += 1;
+                            break;
+                        }
+                        _ => {
+                            out.push(b' ');
+                            i += 1;
+                        }
+                    }
+                }
+            }
+            b'\'' => {
+                // Char literal ('x', '\n', '\'') vs lifetime ('a in
+                // generics). A char literal closes with a quote within a
+                // few bytes; a lifetime does not.
+                let close = if bytes.get(i + 1) == Some(&b'\\') {
+                    bytes.get(i + 3) == Some(&b'\'')
+                } else {
+                    bytes.get(i + 2) == Some(&b'\'')
+                };
+                if close {
+                    let len = if bytes.get(i + 1) == Some(&b'\\') { 4 } else { 3 };
+                    out.push(b'\'');
+                    out.extend(std::iter::repeat_n(b' ', len - 2));
+                    out.push(b'\'');
+                    i += len;
+                } else {
+                    out.push(bytes[i]);
+                    i += 1;
+                }
+            }
+            b => {
+                out.push(b);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8(out).unwrap_or_else(|_| line.to_string())
+}
+
+/// A comment- and literal-stripped view of one line, safe for pattern
+/// matching and brace counting.
+pub fn code_of(line: &str) -> String {
+    blank_literals(strip_line_comment(line))
+}
+
+/// True when `word` appears in `haystack` with non-identifier characters
+/// (or line edges) on both sides.
+pub fn has_word(haystack: &str, word: &str) -> bool {
+    let mut start = 0;
+    while let Some(pos) = haystack[start..].find(word) {
+        let at = start + pos;
+        let before_ok = at == 0
+            || !haystack.as_bytes()[at - 1].is_ascii_alphanumeric()
+                && haystack.as_bytes()[at - 1] != b'_';
+        let end = at + word.len();
+        let after_ok = end >= haystack.len()
+            || !haystack.as_bytes()[end].is_ascii_alphanumeric()
+                && haystack.as_bytes()[end] != b'_';
+        if before_ok && after_ok {
+            return true;
+        }
+        start = at + word.len();
+    }
+    false
+}
+
+/// Net brace depth change and minimum depth reached over one
+/// literal-stripped line, starting from `depth`. Returns
+/// `(depth_after, min_depth_during)`.
+pub fn brace_depth_step(code: &str, depth: i32) -> (i32, i32) {
+    let mut d = depth;
+    let mut min = depth;
+    for c in code.chars() {
+        match c {
+            '{' => d += 1,
+            '}' => {
+                d -= 1;
+                min = min.min(d);
+            }
+            _ => {}
+        }
+    }
+    (d, min)
+}
+
+/// The identifier chain ending just before byte `end` of `code`:
+/// `self.index.lock` with `end` at the `(` of `.lock(` yields
+/// `["self", "index", "lock"]`. Chains are broken by anything other than
+/// identifier characters and `.`; a `()` pair mid-chain (method call) is
+/// skipped so `self.ring(node).buf.lock()` resolves through the call.
+pub fn ident_chain_before(code: &str, end: usize) -> Vec<String> {
+    let bytes = code.as_bytes();
+    let mut idents: Vec<String> = Vec::new();
+    let mut i = end;
+    loop {
+        // Skip a () or [] group (method call / index) before the dot.
+        while i > 0 && (bytes[i - 1] == b')' || bytes[i - 1] == b']') {
+            let (close, open) = if bytes[i - 1] == b')' { (b')', b'(') } else { (b']', b'[') };
+            let mut depth = 0usize;
+            let mut j = i;
+            while j > 0 {
+                j -= 1;
+                if bytes[j] == close {
+                    depth += 1;
+                } else if bytes[j] == open {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+            }
+            if j == i {
+                break;
+            }
+            i = j;
+        }
+        // Collect one identifier.
+        let end_ident = i;
+        while i > 0 && (bytes[i - 1].is_ascii_alphanumeric() || bytes[i - 1] == b'_') {
+            i -= 1;
+        }
+        if i == end_ident {
+            break;
+        }
+        idents.push(code[i..end_ident].to_string());
+        if i == 0 || bytes[i - 1] != b'.' {
+            break;
+        }
+        i -= 1; // consume the '.'
+    }
+    idents.reverse();
+    idents
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn blanking_hides_braces_in_strings() {
+        let code = code_of("write!(f, \"{{x}} {}\", v); // { comment");
+        assert!(!code.contains('x'));
+        let (d, _) = brace_depth_step(&code, 0);
+        assert_eq!(d, 0, "string braces must not count: {code:?}");
+    }
+
+    #[test]
+    fn blanking_handles_char_literals_and_lifetimes() {
+        let code = code_of("let c = '{'; fn f<'a>(x: &'a str) {}");
+        let (d, _) = brace_depth_step(&code, 0);
+        assert_eq!(d, 0, "char-literal brace must not count: {code:?}");
+    }
+
+    #[test]
+    fn ident_chain_resolves_through_calls() {
+        let code = "let g = self.index.lock();";
+        let at = code.find(".lock").unwrap() + ".lock".len();
+        assert_eq!(ident_chain_before(code, at), vec!["self", "index", "lock"]);
+        let code = "self.ring(node).buf.lock()";
+        let at = code.find(".lock").unwrap() + ".lock".len();
+        assert_eq!(ident_chain_before(code, at), vec!["self", "ring", "buf", "lock"]);
+    }
+
+    #[test]
+    fn min_depth_tracks_closers() {
+        let (d, min) = brace_depth_step("} else {", 2);
+        assert_eq!(d, 2);
+        assert_eq!(min, 1);
+    }
+}

@@ -1,0 +1,37 @@
+//! Analyzer fixture: the counterpart to the violation fixtures — every
+//! pattern here is legal, and the self-test asserts that a full analyze
+//! of this file produces zero findings. Not compiled as part of any
+//! crate.
+
+fn build() -> (OrderedMutex<u32>, OrderedMutex<u32>) {
+    let topo = OrderedMutex::new(&classes::CLUSTER_TOPOLOGY, 0u32);
+    let store = OrderedMutex::new(&classes::STORE_MAP, 0u32);
+    (topo, store)
+}
+
+fn ascending_nesting() -> u32 {
+    // topology (rank 100) before store map (rank 300): rank-ascending,
+    // so the lock-order pass must stay quiet.
+    let outer = topo.lock();
+    let inner = store.lock();
+    *outer + *inner
+}
+
+fn deterministic_iteration(sorted: &BTreeMap<u64, u64>) -> u64 {
+    let mut total = 0;
+    for (_k, v) in sorted.iter() {
+        total += v;
+    }
+    total
+}
+
+fn panic_free(m: &HashMap<u64, u64>, v: &[u8]) -> u64 {
+    // Point lookups on a HashMap are order-independent and legal.
+    let a = m.get(&1).copied().unwrap_or(0);
+    let first = v.first().copied().unwrap_or(0);
+    a + first as u64
+}
+
+fn one_shot_settle() {
+    std::thread::sleep(Duration::from_millis(50));
+}

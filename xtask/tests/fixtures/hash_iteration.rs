@@ -1,0 +1,23 @@
+//! Analyzer fixture: the determinism pass must flag every iteration of a
+//! hash-ordered container here (`.iter()`, `.values()`, `.drain(..)`,
+//! `for .. in`), and must NOT flag the point lookups or the BTreeMap at
+//! the bottom. Not compiled as part of any crate.
+
+fn bad(order: &mut HashMap<u64, u64>, seen: HashSet<u64>) {
+    for (k, v) in order.iter() {
+        emit(*k, *v);
+    }
+    let total: u64 = order.values().sum();
+    order.drain();
+    for s in seen {
+        emit(s, 0);
+    }
+}
+
+fn fine(order: &HashMap<u64, u64>, sorted: &BTreeMap<u64, u64>) {
+    let _one = order.get(&1);
+    let _had = order.contains_key(&2);
+    for (k, v) in sorted.iter() {
+        emit(*k, *v);
+    }
+}

@@ -1,0 +1,25 @@
+//! Analyzer fixture: the sleep-poll pass must flag both sleeps inside
+//! loop bodies (the `loop` and the multi-line `while`) and must NOT flag
+//! the one-shot sleep outside any loop. Not compiled as part of any
+//! crate.
+
+fn poll_until_ready(flag: &AtomicBool) {
+    loop {
+        if flag.load(Ordering::Acquire) {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+}
+
+fn poll_with_split_header(flag: &AtomicBool, deadline: Instant) {
+    while !flag.load(Ordering::Acquire)
+        && Instant::now() < deadline
+    {
+        std::thread::sleep(Duration::from_millis(5));
+    }
+}
+
+fn one_shot_settle() {
+    std::thread::sleep(Duration::from_millis(50));
+}

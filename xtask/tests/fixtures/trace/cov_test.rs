@@ -1,0 +1,8 @@
+//! Trace-coverage fixture, test file: asserts `Covered` and
+//! `NeverEmitted` but never `NeverAsserted`. Mounted at a synthetic
+//! `tests/` path by the self-test.
+
+fn assertions(log: &TraceLog) {
+    log.assert().happened(TraceEventKind::Covered);
+    log.assert().happened(TraceEventKind::NeverEmitted);
+}

@@ -1,0 +1,8 @@
+//! Trace-coverage fixture, runtime file: emits `Covered` and
+//! `NeverAsserted` but never `NeverEmitted`. Mounted at a synthetic
+//! `crates/.../src` path by the self-test.
+
+fn emit_events(c: &Collector) {
+    c.emit(TraceEventKind::Covered, "work started");
+    c.emit(TraceEventKind::NeverAsserted, "nobody tests this one");
+}

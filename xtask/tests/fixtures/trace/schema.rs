@@ -1,0 +1,20 @@
+//! Trace-coverage fixture, schema file: declares a three-variant trace
+//! enum. The match arms below are declaration context (`=>`), not
+//! emission — the pass must not count them. Not compiled as part of any
+//! crate; the self-test mounts this at a synthetic runtime path.
+
+pub enum TraceEventKind {
+    Covered,
+    NeverEmitted,
+    NeverAsserted,
+}
+
+impl TraceEventKind {
+    fn label(&self) -> &'static str {
+        match self {
+            TraceEventKind::Covered => "covered",
+            TraceEventKind::NeverEmitted => "never_emitted",
+            TraceEventKind::NeverAsserted => "never_asserted",
+        }
+    }
+}

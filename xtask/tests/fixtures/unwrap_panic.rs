@@ -1,0 +1,21 @@
+//! Analyzer fixture: the panic-freedom pass must flag the unwrap, the
+//! undocumented expect, the panic! macro, and the slice index — and must
+//! NOT flag the `expect("invariant: ...")`, the assert!, or the `.get()`.
+//! Not compiled as part of any crate.
+
+fn bad(m: &HashMap<u64, u64>, v: &[u8]) -> u64 {
+    let a = m.get(&1).unwrap();
+    let b = m.get(&2).expect("should be there");
+    if v.is_empty() {
+        panic!("empty input");
+    }
+    let first = v[0];
+    *a + *b + first as u64
+}
+
+fn fine(m: &HashMap<u64, u64>, v: &[u8]) -> u64 {
+    let a = m.get(&1).expect("invariant: caller inserted key 1 above");
+    assert!(!v.is_empty(), "caller contract");
+    let first = v.first().copied().unwrap_or(0);
+    *a + first as u64
+}
