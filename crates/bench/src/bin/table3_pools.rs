@@ -1,0 +1,193 @@
+//! Table 3 supplement: the embedded policy server behind a self-healing
+//! replica pool, under sustained closed-loop load.
+//!
+//! The paper's Table 3 measures one embedded actor. This run puts the
+//! same `PolicyServer` behind `ray_serve::ReplicaPool` — health-driven
+//! routing, hedged requests, autoscaling, deadline propagation, and load
+//! shedding — and reports tail latency (p50/p99/p999) and the shed rate
+//! in two phases:
+//!
+//! - **steady**: no faults; the pool's overhead over a bare actor is the
+//!   routing + accounting on each request.
+//! - **chaos**: a seeded `generate_serve` schedule kills and restarts
+//!   replica nodes, injects stragglers, and crashes GCS replicas while
+//!   the same closed-loop clients keep going. Requests that fail despite
+//!   remaining deadline budget are counted — the pool's job is to keep
+//!   that at zero while p99 takes a bounded blip.
+
+use ray_bench::{fmt_rate, quick_mode, Report};
+use ray_common::RayConfig;
+use ray_rl::serving::{calibrate_spin, pool_config, register, ServingWorkload};
+use ray_serve::{AutoscaleConfig, HedgeConfig, ReplicaPool};
+use rustray::chaos::{self, ChaosSchedule};
+use rustray::Cluster;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const NODES: u32 = 4;
+const CLIENTS: usize = 6;
+const CHAOS_SEED: u64 = 0xC0FFEE;
+
+#[derive(Default)]
+struct PhaseStats {
+    latencies_us: Vec<u64>,
+    served_states: u64,
+    shed: u64,
+    failed: u64,
+}
+
+impl PhaseStats {
+    fn merge(&mut self, other: PhaseStats) {
+        self.latencies_us.extend(other.latencies_us);
+        self.served_states += other.served_states;
+        self.shed += other.shed;
+        self.failed += other.failed;
+    }
+
+    fn percentile(&self, q: f64) -> u64 {
+        if self.latencies_us.is_empty() {
+            return 0;
+        }
+        let idx = ((self.latencies_us.len() - 1) as f64 * q).round() as usize;
+        self.latencies_us.get(idx).copied().unwrap_or(0)
+    }
+}
+
+/// Closed-loop load from `CLIENTS` threads for `window`.
+fn run_phase(pool: &ReplicaPool, workload: &ServingWorkload, window: Duration) -> PhaseStats {
+    let mut total = PhaseStats::default();
+    let results: Vec<PhaseStats> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..CLIENTS)
+            .map(|client| {
+                scope.spawn(move || {
+                    let mut stats = PhaseStats::default();
+                    let start = Instant::now();
+                    let mut round = client as u64;
+                    while start.elapsed() < window {
+                        // Vary the first bytes so no layer can cache.
+                        let mut payload = vec![0u8; workload.state_bytes * workload.batch];
+                        payload
+                            .iter_mut()
+                            .zip(round.to_le_bytes())
+                            .for_each(|(b, t)| *b = t);
+                        let sent = Instant::now();
+                        match pool.request(payload) {
+                            Ok(_) => {
+                                stats.latencies_us.push(sent.elapsed().as_micros() as u64);
+                                stats.served_states += workload.batch as u64;
+                            }
+                            Err(ray_common::RayError::Overloaded(_)) => stats.shed += 1,
+                            Err(_) => stats.failed += 1,
+                        }
+                        round += CLIENTS as u64;
+                    }
+                    stats
+                })
+            })
+            .collect();
+        handles.into_iter().filter_map(|h| h.join().ok()).collect()
+    });
+    for r in results {
+        total.merge(r);
+    }
+    total.latencies_us.sort_unstable();
+    total
+}
+
+fn phase_row(name: &str, stats: &PhaseStats, window: Duration) -> Vec<String> {
+    let attempts = stats.latencies_us.len() as u64 + stats.shed + stats.failed;
+    vec![
+        name.to_string(),
+        format!("{:.1}ms", stats.percentile(0.5) as f64 / 1_000.0),
+        format!("{:.1}ms", stats.percentile(0.99) as f64 / 1_000.0),
+        format!("{:.1}ms", stats.percentile(0.999) as f64 / 1_000.0),
+        format!("{:.1}%", 100.0 * stats.shed as f64 / attempts.max(1) as f64),
+        format!("{}", stats.failed),
+        fmt_rate(stats.served_states as f64 / window.as_secs_f64()),
+    ]
+}
+
+fn main() {
+    let quick = quick_mode();
+    let window = if quick { Duration::from_millis(900) } else { Duration::from_secs(3) };
+    let eval = if quick { Duration::from_micros(300) } else { Duration::from_millis(1) };
+
+    let workload = ServingWorkload {
+        state_bytes: 4 << 10,
+        batch: 16,
+        eval_spin: calibrate_spin(eval),
+        rest_text_encoding: false,
+    };
+
+    let cluster = Arc::new(
+        Cluster::start(RayConfig::builder().nodes(NODES as usize).workers_per_node(2).build())
+            .expect("start cluster"),
+    );
+    register(&cluster);
+
+    let mut cfg = pool_config(&workload).expect("pool config");
+    cfg.replicas_min = 2;
+    cfg.replicas_max = 4;
+    cfg.request_timeout = Duration::from_secs(2);
+    cfg.attempt_timeout = Some(Duration::from_millis(500));
+    cfg.shed_watermark = 64;
+    cfg.hedge = Some(HedgeConfig {
+        percentile: 0.95,
+        min: Duration::from_millis(2),
+        max: Duration::from_millis(25),
+    });
+    cfg.slo = Some(Duration::from_millis(100));
+    cfg.autoscale = AutoscaleConfig {
+        enabled: true,
+        scale_up_depth: 4.0,
+        scale_down_depth: 0.5,
+        cooldown: Duration::from_millis(250),
+    };
+    cfg.monitor_interval = Some(Duration::from_millis(10));
+    let pool = ReplicaPool::deploy(&cluster, cfg).expect("deploy pool");
+
+    let mut report = Report::new(
+        "table3_pools",
+        "Table 3 supplement — PolicyServer behind a replica pool (closed-loop)",
+        &["phase", "p50", "p99", "p999", "shed", "failed", "states/s"],
+    );
+
+    // Phase 1: steady state.
+    let steady = run_phase(&pool, &workload, window);
+    report.row(&phase_row("steady", &steady, window));
+
+    // Phase 2: same load under a seeded chaos schedule.
+    let shards = cluster.gcs().num_shards() as u32;
+    let schedule =
+        ChaosSchedule::generate_serve(CHAOS_SEED, NODES, shards, window, if quick { 3 } else { 6 });
+    let chaos_stats = std::thread::scope(|scope| {
+        let cluster2 = Arc::clone(&cluster);
+        let chaos_thread = scope.spawn(move || schedule.run(&cluster2));
+        let stats = run_phase(&pool, &workload, window);
+        let _ = chaos_thread.join();
+        stats
+    });
+    chaos::repair(&cluster, NODES);
+    report.row(&phase_row(&format!("chaos(seed={CHAOS_SEED:#x})"), &chaos_stats, window));
+
+    report.note(format!(
+        "{CLIENTS} closed-loop clients, {} replicas (autoscaled 2..4), hedge p95, SLO 100ms",
+        pool.replicas().len()
+    ));
+    // Give reconstruction a bounded window to finish before the health
+    // note: repaired nodes still need to replay checkpoints + logs.
+    let recover_deadline = Instant::now() + Duration::from_secs(5);
+    let mut healthy = pool.probe_now();
+    while healthy < pool.replicas().len() && Instant::now() < recover_deadline {
+        std::thread::sleep(Duration::from_millis(50));
+        healthy = pool.probe_now();
+    }
+    report.note(format!(
+        "pool after chaos+repair: {}/{} replicas healthy; hedges and SLO misses under serve_* metrics",
+        healthy,
+        pool.replicas().len()
+    ));
+    report.finish();
+    pool.shutdown();
+    cluster.shutdown();
+}

@@ -57,7 +57,7 @@ fn random_payload(rng: &mut DetRng, depth: usize) -> Payload {
         2 => Payload::Signed {
             a: rng.next_u64() as i64,
             b: (rng.next_u64() % 256) as u8 as i8,
-            c: rng.next_u64() % 2 == 0,
+            c: rng.next_u64().is_multiple_of(2),
         },
         3 => Payload::Text(random_string(rng)),
         4 => {
@@ -78,7 +78,7 @@ fn random_payload(rng: &mut DetRng, depth: usize) -> Payload {
                 (0..len).map(|i| (format!("k{i}-{}", random_string(rng)), rng.next_u64() as u32)).collect(),
             )
         }
-        _ => Payload::Maybe(if rng.next_u64() % 2 == 0 {
+        _ => Payload::Maybe(if rng.next_u64().is_multiple_of(2) {
             None
         } else {
             Some(Box::new(random_payload(rng, depth - 1)))

@@ -327,6 +327,28 @@ pub mod names {
     pub const TASKS_SHED: &str = "tasks_shed";
     /// Tasks torn down because their absolute deadline expired.
     pub const DEADLINE_EXCEEDED: &str = "deadline_exceeded";
+    /// Actor checkpoints whose GCS write failed (retried on the next
+    /// stateful method instead of silently advancing the interval).
+    pub const ACTOR_CHECKPOINT_FAILED: &str = "actor_checkpoint_failed";
+    /// Serving requests completed successfully through a replica pool.
+    pub const SERVE_REQUESTS: &str = "serve_requests";
+    /// Serving requests shed at the pool door (queue past watermark).
+    pub const SERVE_SHED: &str = "serve_requests_shed";
+    /// Hedged second attempts launched against straggling replicas.
+    pub const SERVE_HEDGES: &str = "serve_hedges";
+    /// Requests retried on a surviving replica after a replica failure.
+    pub const SERVE_FAILOVERS: &str = "serve_failovers";
+    /// Served requests that completed past the configured latency SLO.
+    pub const SERVE_SLO_VIOLATIONS: &str = "serve_slo_violations";
+    /// Replicas spawned into pools (deploys, autoscale-up, re-admission).
+    pub const SERVE_REPLICAS_SPAWNED: &str = "serve_replicas_spawned";
+    /// Replicas drained and retired from pools.
+    pub const SERVE_REPLICAS_RETIRED: &str = "serve_replicas_retired";
+    /// Batched dispatches issued by pool dispatchers.
+    pub const SERVE_BATCHES: &str = "serve_batches";
+    /// Histogram: end-to-end served-request latency in microseconds
+    /// (pool admission → response delivered, hedges and failover included).
+    pub const SERVE_LATENCY_MICROS: &str = "serve_latency_micros";
 }
 
 #[cfg(test)]

@@ -89,6 +89,7 @@ impl fmt::Debug for LockClass {
 ///
 /// | band      | crate            |
 /// |-----------|------------------|
+/// | 50–99     | serve (above core: pool locks span calls into it) |
 /// | 100–199   | core runtime     |
 /// | 200–299   | scheduler        |
 /// | 290–399   | object store     |
@@ -104,6 +105,14 @@ impl fmt::Debug for LockClass {
 /// every layer — rank above everything.
 pub mod classes {
     use super::LockClass;
+
+    // --- serve (50–99): the serving layer sits above core, so its
+    // locks are outermost — they may be held across actor calls ---
+
+    /// A replica pool's slot table (router view of its replicas).
+    pub static SERVE_POOL: LockClass = LockClass::new("serve.pool", 50);
+    /// A pool's control state (autoscaler bookkeeping, worker threads).
+    pub static SERVE_CONTROL: LockClass = LockClass::new("serve.control", 60);
 
     // --- core runtime (100–199): cluster orchestration, outermost ---
 

@@ -243,6 +243,20 @@ pub enum TraceEventKind {
     TaskShed,
     /// A cancel propagated from a parent task to a registered child.
     CancelPropagated,
+    /// A serving replica entered (or re-entered) a pool's routable set:
+    /// initial deploy, autoscale-up, or re-admission after recovery.
+    ReplicaSpawned,
+    /// A serving replica was drained and removed from its pool
+    /// (autoscale-down or explicit retirement).
+    ReplicaRetired,
+    /// A pool declared a replica unhealthy (call failure or probe
+    /// deadline miss) and stopped routing new requests to it.
+    ReplicaUnhealthy,
+    /// A pool launched a hedged second attempt against a straggling
+    /// replica (first result wins; the loser is cancelled).
+    RequestHedged,
+    /// A served request completed but exceeded the pool's latency SLO.
+    SloViolated,
 }
 
 impl TraceEventKind {
@@ -280,6 +294,11 @@ impl TraceEventKind {
             TaskDeadlineExceeded => "task_deadline_exceeded",
             TaskShed => "task_shed",
             CancelPropagated => "cancel_propagated",
+            ReplicaSpawned => "replica_spawned",
+            ReplicaRetired => "replica_retired",
+            ReplicaUnhealthy => "replica_unhealthy",
+            RequestHedged => "request_hedged",
+            SloViolated => "slo_violated",
         }
     }
 
@@ -307,6 +326,8 @@ impl TraceEventKind {
                 | GcsFlush
                 | TaskShed
                 | CancelPropagated
+                | RequestHedged
+                | SloViolated
         )
     }
 }

@@ -173,6 +173,9 @@ struct ActorHost {
     instance: Box<dyn ActorInstance>,
     /// Next stateful-edge sequence number.
     seq: u64,
+    /// A checkpoint write failed (GCS shard down); retry on the next
+    /// stateful method instead of waiting out another full interval.
+    pending_checkpoint: bool,
 }
 
 impl ActorHost {
@@ -218,6 +221,26 @@ impl ActorHost {
                 return;
             }
         };
+        if !replay {
+            // Chaos straggler injection (`DelayWorker`): actor hosts pay
+            // the same configured latency as stateless workers, which is
+            // what makes replica stragglers injectable for hedging tests.
+            // Replay is exempt — recovery speed is not the chaos target.
+            let delay_us = self.shared.worker_delays[self.node.index()]
+                .load(std::sync::atomic::Ordering::Relaxed);
+            if delay_us > 0 {
+                std::thread::sleep(std::time::Duration::from_micros(delay_us));
+            }
+            // Cancellation / deadline teardown, checked *before* the
+            // method is logged: a torn-down method never enters the
+            // stateful-edge log, so it is never replayed on recovery and
+            // can leave no duplicate side effects. This is what makes
+            // hedged-request losers safe to cancel.
+            if let Some(cause) = self.shared.teardown_cause(spec) {
+                self.shared.teardown(self.node, spec, cause);
+                return;
+            }
+        }
         if read_only {
             // No stateful edge: not logged, not sequenced, never replayed.
         } else if !replay {
@@ -286,6 +309,12 @@ impl ActorHost {
             TraceEntity::Task(spec.task),
             "",
         );
+        if !replay {
+            // Completed: forget the cancel token (mirrors teardown's
+            // cleanup) so long-lived serving pools don't accumulate one
+            // registry entry per request.
+            self.shared.cancels.remove(spec.task);
+        }
         if read_only {
             return;
         }
@@ -300,17 +329,18 @@ impl ActorHost {
                 let _ = self.shared.gcs_client.put_actor(&rec);
             }
             if let Some(every) = self.shared.config.fault.actor_checkpoint_interval {
-                if every > 0 && self.seq.is_multiple_of(every) {
+                if (every > 0 && self.seq.is_multiple_of(every)) || self.pending_checkpoint {
                     self.take_checkpoint();
                 }
             }
         }
     }
 
-    fn take_checkpoint(&self) {
+    fn take_checkpoint(&mut self) {
         if let Some(data) = self.instance.checkpoint() {
             let rec = CheckpointRecord { seq: self.seq, data: ray_codec::Blob(data) };
             if self.shared.gcs_client.put_checkpoint(self.actor, &rec).is_ok() {
+                self.pending_checkpoint = false;
                 self.shared.metrics.counter(names::CHECKPOINTS_TAKEN).inc();
                 self.shared.trace.emit(
                     self.node,
@@ -318,6 +348,12 @@ impl ActorHost {
                     TraceEntity::Actor(self.actor),
                     format!("seq={}", self.seq),
                 );
+            } else {
+                // The write failed (shard down / unreachable). Losing the
+                // checkpoint silently would stretch replay to the previous
+                // interval boundary; retry on the next stateful method.
+                self.pending_checkpoint = true;
+                self.shared.metrics.counter(names::ACTOR_CHECKPOINT_FAILED).inc();
             }
         }
     }
@@ -389,7 +425,8 @@ fn start_host(
     seq: u64,
 ) {
     let (tx, rx) = unbounded();
-    let host = ActorHost { shared: shared.clone(), actor, node, instance, seq };
+    let host =
+        ActorHost { shared: shared.clone(), actor, node, instance, seq, pending_checkpoint: false };
     let metrics = shared.metrics.clone();
     std::thread::Builder::new()
         .name(format!("actor-{actor}"))
@@ -399,6 +436,19 @@ fn start_host(
         })
         .expect("invariant: thread spawn only fails on OS resource exhaustion");
     shared.actors.activate(actor, tx, node);
+}
+
+/// Bounds rebuild retries across a transient GCS outage: at 10ms per
+/// beat this rides out ~5s of control-plane unavailability, well past a
+/// shard's recovery-from-disk time.
+const MAX_REBUILD_RETRIES: u32 = 500;
+
+/// Errors a rebuild should wait out rather than give up on.
+fn is_transient_rebuild_error(err: &RayError) -> bool {
+    matches!(
+        err,
+        RayError::GcsUnavailable(_) | RayError::MessageDropped | RayError::Timeout
+    )
 }
 
 /// Rebuilds an actor after its host (or its host's node) died: Fig. 11b.
@@ -412,11 +462,32 @@ pub(crate) fn rebuild_actor(shared: &Arc<RuntimeShared>, actor: ActorId) -> RayR
         .name(format!("actor-recovery-{actor}"))
         .spawn(move || {
             ray_common::sync::install_long_hold_metrics(shared.metrics.clone());
-            if let Err(e) = rebuild_actor_blocking(&shared, actor) {
-                // Unrecoverable (e.g. record lost): the actor is dead;
-                // pending calls will surface ActorDied.
-                let _ = e;
-                shared.actors.mark_dead(actor);
+            // A rebuild can race a control-plane outage (a GCS shard
+            // crashing mid-recovery): those errors are transient — shards
+            // heal from their persistent log — so wait them out instead of
+            // declaring the actor dead. Restarting the rebuild from
+            // scratch is safe: the record stays Recovering, the ctor and
+            // replay re-derive the instance, and re-stored outputs are
+            // deduplicated by the store.
+            let mut attempts = 0u32;
+            loop {
+                match rebuild_actor_blocking(&shared, actor) {
+                    Ok(()) => break,
+                    Err(e)
+                        if is_transient_rebuild_error(&e)
+                            && attempts < MAX_REBUILD_RETRIES
+                            && !shared.shutting_down.load(std::sync::atomic::Ordering::SeqCst) =>
+                    {
+                        attempts += 1;
+                        std::thread::sleep(std::time::Duration::from_millis(10));
+                    }
+                    Err(_) => {
+                        // Unrecoverable (e.g. record lost): the actor is
+                        // dead; pending calls will surface ActorDied.
+                        shared.actors.mark_dead(actor);
+                        break;
+                    }
+                }
             }
         })
         .expect("invariant: thread spawn only fails on OS resource exhaustion");
@@ -491,7 +562,14 @@ fn rebuild_actor_blocking(shared: &Arc<RuntimeShared>, actor: ActorId) -> RayRes
     // `methods_invoked` hint: a crash can land after a method was logged
     // but before the record was republished, and that method must still be
     // applied (exactly once) with its outputs re-stored.
-    let mut host = ActorHost { shared: shared.clone(), actor, node, instance, seq: start_seq };
+    let mut host = ActorHost {
+        shared: shared.clone(),
+        actor,
+        node,
+        instance,
+        seq: start_seq,
+        pending_checkpoint: false,
+    };
     let mut seq = start_seq;
     // Stops at the end of the log (or a hole from a crash mid-log).
     while let Some(task) = shared.gcs_client.get_actor_method(actor, seq)? {

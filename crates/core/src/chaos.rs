@@ -220,6 +220,59 @@ impl ChaosSchedule {
         ChaosSchedule::from_events(events)
     }
 
+    /// Generates a serving-oriented schedule: replica-node kills (orderly
+    /// and abrupt, each with a paired restart), straggler injections
+    /// (`DelayWorker`, each paired with a zero-delay repair so hedging is
+    /// exercised but the node recovers), and GCS replica crashes (the
+    /// chain splices in a replacement). Node 0 — where the pool's driver
+    /// and router live — is never a victim, and whole-shard crashes are
+    /// excluded so a soak can inject them at a controlled, flushed point.
+    pub fn generate_serve(
+        seed: u64,
+        nodes: u32,
+        shards: u32,
+        duration: Duration,
+        faults: usize,
+    ) -> ChaosSchedule {
+        if nodes < 2 {
+            return ChaosSchedule::default();
+        }
+        let mut rng = DetRng::new(seed);
+        let mut events = Vec::new();
+        for _ in 0..faults {
+            let at = duration.mul_f64(0.7 * rng.next_f64());
+            let repair_at = at + duration.mul_f64(0.10 + 0.15 * rng.next_f64());
+            let victim = NodeId(1 + rng.next_below(u64::from(nodes - 1)) as u32);
+            let classes = if shards > 0 { 4 } else { 3 };
+            match rng.next_below(classes) {
+                0 => {
+                    events.push(ChaosEvent { at, action: ChaosAction::Kill(victim) });
+                    events.push(ChaosEvent { at: repair_at, action: ChaosAction::Restart(victim) });
+                }
+                1 => {
+                    events.push(ChaosEvent { at, action: ChaosAction::KillAbrupt(victim) });
+                    events.push(ChaosEvent { at: repair_at, action: ChaosAction::Restart(victim) });
+                }
+                2 => {
+                    // Straggle hard enough (2–10ms) that a hedged second
+                    // attempt on a healthy replica beats the delayed one.
+                    let delay = Duration::from_micros(2_000 + rng.next_below(8_000));
+                    events.push(ChaosEvent { at, action: ChaosAction::DelayWorker(victim, delay) });
+                    events.push(ChaosEvent {
+                        at: repair_at,
+                        action: ChaosAction::DelayWorker(victim, Duration::ZERO),
+                    });
+                }
+                _ => {
+                    let shard = ShardId(rng.next_below(u64::from(shards)) as u32);
+                    let idx = rng.next_below(2) as usize;
+                    events.push(ChaosEvent { at, action: ChaosAction::CrashGcsReplica(shard, idx) });
+                }
+            }
+        }
+        ChaosSchedule::from_events(events)
+    }
+
     /// Applies the schedule to a running cluster, sleeping between events.
     /// Blocking: run it from its own thread alongside the workload.
     /// Restart errors (slot already live again) are ignored — overlapping
@@ -425,6 +478,44 @@ mod tests {
                         );
                     }
                     _ => {}
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn serve_generation_is_deterministic_and_always_repairs() {
+        let d = Duration::from_secs(2);
+        assert_eq!(
+            ChaosSchedule::generate_serve(7, 4, 2, d, 12),
+            ChaosSchedule::generate_serve(7, 4, 2, d, 12)
+        );
+        for seed in [3u64, 17, 99, 2024] {
+            let s = ChaosSchedule::generate_serve(seed, 4, 2, d, 15);
+            for (i, ev) in s.events().iter().enumerate() {
+                match ev.action {
+                    ChaosAction::Kill(n) | ChaosAction::KillAbrupt(n) => {
+                        assert_ne!(n, NodeId(0), "seed {seed}");
+                        assert!(
+                            s.events()[i..]
+                                .iter()
+                                .any(|later| later.action == ChaosAction::Restart(n)),
+                            "seed {seed}: kill of {n} has no later restart"
+                        );
+                    }
+                    ChaosAction::Restart(n) => assert_ne!(n, NodeId(0), "seed {seed}"),
+                    ChaosAction::DelayWorker(n, delay) => {
+                        assert_ne!(n, NodeId(0), "seed {seed}");
+                        if !delay.is_zero() {
+                            assert!(
+                                s.events()[i..].iter().any(|later| later.action
+                                    == ChaosAction::DelayWorker(n, Duration::ZERO)),
+                                "seed {seed}: straggle on {n} never repaired"
+                            );
+                        }
+                    }
+                    ChaosAction::CrashGcsReplica(shard, _) => assert!(shard.0 < 2),
+                    other => panic!("seed {seed}: unexpected serve action {other:?}"),
                 }
             }
         }

@@ -361,6 +361,19 @@ impl Cluster {
         &self.shared.fabric
     }
 
+    /// The global scheduler (placement queries for layers above core,
+    /// e.g. the serving pool's replica placement).
+    pub fn scheduler(&self) -> &ray_scheduler::GlobalScheduler {
+        &self.shared.global
+    }
+
+    /// The node currently hosting `actor`, if it is alive (pending,
+    /// recovering, and dead actors return `None`). Serving pools use this
+    /// to refresh a replica's location after reconstruction moves it.
+    pub fn actor_node(&self, actor: ray_common::ActorId) -> Option<NodeId> {
+        self.shared.actors.node_of(actor)
+    }
+
     /// One node's object store, if the node is live.
     pub fn object_store(&self, node: NodeId) -> Option<Arc<LocalObjectStore>> {
         self.shared.directory.get(node)

@@ -399,11 +399,16 @@ impl RayContext {
         args: Vec<Arg>,
         opts: TaskOptions,
     ) -> RayResult<ActorHandle> {
-        let actor = ActorId::random();
+        let task = self.next_child();
+        // Actor identity derives from the creation task, like object and
+        // child-task IDs: a replayed driver regenerates the same actor,
+        // and same-seed runs produce identical trace entities (which is
+        // what lets chaos suites compare recovery signatures).
+        let actor = ActorId(task.0.derive("actor", 0));
         self.shared.actors.register_pending(actor);
         let deadline_micros = self.child_deadline(&opts);
         let spec = TaskSpec {
-            task: self.next_child(),
+            task,
             kind: TaskKind::ActorCreation { actor },
             function: FunctionId::for_name(class),
             function_name: class.to_string(),
@@ -428,6 +433,23 @@ impl RayContext {
         args: Vec<Arg>,
     ) -> RayResult<ObjectRef<R>> {
         let ids = self.call_actor_multi(handle, method, args, 1)?;
+        Ok(ObjectRef::from_id(ids[0]))
+    }
+
+    /// [`Self::call_actor`] with options. Only `opts.timeout` is honored
+    /// (tightened against the caller's inherited deadline): actor methods
+    /// run on their actor's host, so resource demand does not apply. This
+    /// is how the serving layer gives each routed request its own
+    /// propagated deadline.
+    pub fn call_actor_opts<R>(
+        &self,
+        handle: &ActorHandle,
+        method: &str,
+        args: Vec<Arg>,
+        opts: &TaskOptions,
+    ) -> RayResult<ObjectRef<R>> {
+        let deadline = self.child_deadline(opts);
+        let ids = self.call_actor_spec(handle, method, args, 1, false, deadline)?;
         Ok(ObjectRef::from_id(ids[0]))
     }
 
@@ -466,6 +488,20 @@ impl RayContext {
         num_returns: u64,
         read_only: bool,
     ) -> RayResult<Vec<ObjectId>> {
+        // Actor methods inherit the caller's deadline; they execute
+        // serially on the actor host, which checks it before running.
+        self.call_actor_spec(handle, method, args, num_returns, read_only, self.deadline_micros)
+    }
+
+    fn call_actor_spec(
+        &self,
+        handle: &ActorHandle,
+        method: &str,
+        args: Vec<Arg>,
+        num_returns: u64,
+        read_only: bool,
+        deadline_micros: Option<u64>,
+    ) -> RayResult<Vec<ObjectId>> {
         let spec = TaskSpec {
             task: self.next_child(),
             kind: TaskKind::ActorMethod {
@@ -478,19 +514,27 @@ impl RayContext {
             args,
             num_returns,
             demand: ray_common::Resources::none(),
-            // Actor methods inherit the caller's deadline; they execute
-            // serially on the actor host, which checks it before running.
-            deadline_micros: self.deadline_micros,
+            deadline_micros,
             critical: false,
         };
+        let task = spec.task;
         let returns = spec.return_ids();
         self.shared.metrics.counter(ray_common::metrics::names::TASKS_SUBMITTED).inc();
+        // Register the cancel token before the method can run: `ray.cancel`
+        // on a method future (e.g. a hedged request's losing attempt) fires
+        // it, and the actor host checks it before logging the method. The
+        // host removes the entry when the method completes.
+        self.shared.cancels.ensure(task);
+        self.shared.cancels.link(self.task, task);
         // Lineage first: the method log + task table entry are what replay
         // reads (Fig. 4's stateful-edge chain). Read-only calls skip it.
         if !read_only {
             self.shared.record_lineage(&spec)?;
         }
-        self.shared.actors.invoke(handle.actor, spec)?;
+        if let Err(e) = self.shared.actors.invoke(handle.actor, spec) {
+            self.shared.cancels.remove(task);
+            return Err(e);
+        }
         Ok(returns)
     }
 

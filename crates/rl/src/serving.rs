@@ -31,7 +31,8 @@ use std::time::{Duration, Instant};
 
 use bytes::Bytes;
 use ray_codec::Blob;
-use ray_common::RayResult;
+use ray_common::{RayError, RayResult};
+use ray_serve::{PoolConfig, ReplicaPool};
 use rustray::registry::RemoteResult;
 use rustray::task::{Arg, TaskOptions};
 use rustray::{decode_arg, encode_return, ActorHandle, ActorInstance, Cluster, RayContext};
@@ -148,9 +149,38 @@ impl ActorInstance for PolicyServer {
                 let actions = evaluate_batch(&states.0, self.state_bytes, self.eval_spin);
                 encode_return(&Blob(actions))
             }
+            // The serving pool's batched dispatch: one `Vec<Blob>` in
+            // (one element per pooled request), one `Vec<Blob>` out in
+            // the same order.
+            "predict_batch" => {
+                let batches: Vec<Blob> = decode_arg(args, 0)?;
+                self.requests += batches.len() as u64;
+                let actions: Vec<Blob> = batches
+                    .iter()
+                    .map(|b| Blob(evaluate_batch(&b.0, self.state_bytes, self.eval_spin)))
+                    .collect();
+                encode_return(&actions)
+            }
+            // Health probe for the serving pool: invoked read-only (not
+            // logged, not replayed), must stay state-free.
+            "ping" => encode_return(&self.requests),
             "requests" => encode_return(&self.requests),
             other => Err(format!("PolicyServer has no method {other}")),
         }
+    }
+
+    // The model parameters live in the ctor args; the only mutable state
+    // is the served-request count, so checkpoints bound replay to the
+    // interval tail (Fig. 11b) at the cost of eight bytes.
+    fn checkpoint(&self) -> Option<Vec<u8>> {
+        Some(self.requests.to_le_bytes().to_vec())
+    }
+
+    fn restore(&mut self, data: &[u8]) -> Result<(), String> {
+        let bytes: [u8; 8] =
+            data.try_into().map_err(|_| "PolicyServer checkpoint is 8 bytes".to_string())?;
+        self.requests = u64::from_le_bytes(bytes);
+        Ok(())
     }
 }
 
@@ -202,6 +232,51 @@ pub fn embedded_throughput(
         let out = ctx.get(&actions)?;
         debug_assert_eq!(out.0.len(), workload.batch * 8);
         states += workload.batch as u64;
+        round += 1;
+    }
+    Ok(states as f64 / start.elapsed().as_secs_f64())
+}
+
+// ----------------------------------------------------------------------
+// Pooled serving: Table 3's embedded server behind a replica pool.
+// ----------------------------------------------------------------------
+
+/// A [`PoolConfig`] serving this workload through `PolicyServer`
+/// replicas: single-request `predict`, batched `predict_batch`, and the
+/// read-only `ping` probe. Starts from the deterministic baseline — the
+/// caller opts into hedging / autoscaling / batching / SLOs.
+pub fn pool_config(workload: &ServingWorkload) -> RayResult<PoolConfig> {
+    let mut cfg = PoolConfig::deterministic("PolicyServer", "predict");
+    cfg.ctor_args = vec![
+        Arg::value(&(workload.state_bytes as u64))?,
+        Arg::value(&workload.eval_spin)?,
+    ];
+    cfg.batch_method = Some("predict_batch".to_string());
+    Ok(cfg)
+}
+
+/// Drives a replica pool closed-loop for `duration` from one client,
+/// returning states/second. Shed requests ([`RayError::Overloaded`]) are
+/// not counted but don't fail the run — load shedding is the pool working
+/// as designed; any other error aborts.
+pub fn pool_throughput(
+    pool: &ReplicaPool,
+    workload: &ServingWorkload,
+    duration: Duration,
+) -> RayResult<f64> {
+    let start = Instant::now();
+    let mut states = 0u64;
+    let mut round = 0u64;
+    while start.elapsed() < duration {
+        let batch = synthesize_states(workload.state_bytes, workload.batch, round);
+        match pool.request(batch.0) {
+            Ok(actions) => {
+                debug_assert_eq!(actions.len(), workload.batch * 8);
+                states += workload.batch as u64;
+            }
+            Err(RayError::Overloaded(_)) => {}
+            Err(e) => return Err(e),
+        }
         round += 1;
     }
     Ok(states as f64 / start.elapsed().as_secs_f64())
@@ -417,6 +492,24 @@ mod tests {
         // The request counter advanced.
         let reqs = ctx.call_actor::<u64>(&server, "requests", vec![]).unwrap();
         assert!(ctx.get(&reqs).unwrap() > 0);
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn pooled_serving_round_trips() {
+        let cluster = std::sync::Arc::new(
+            Cluster::start(RayConfig::builder().nodes(2).workers_per_node(2).build()).unwrap(),
+        );
+        register(&cluster);
+        let w = workload();
+        let cfg = pool_config(&w).unwrap();
+        let pool = ReplicaPool::deploy(&cluster, cfg).unwrap();
+        assert_eq!(pool.replicas().len(), 2);
+        let throughput = pool_throughput(&pool, &w, Duration::from_millis(300)).unwrap();
+        assert!(throughput > 0.0);
+        assert_eq!(pool.healthy_count(), 2);
+        assert!(pool.latency_percentile(0.5).is_some());
+        pool.shutdown();
         cluster.shutdown();
     }
 

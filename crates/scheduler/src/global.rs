@@ -191,6 +191,40 @@ impl GlobalScheduler {
         Ok(best.expect("invariant: caller checked candidates is non-empty").1)
     }
 
+    /// Picks a node for a new serving replica: the feasible live node with
+    /// the fewest replicas already placed there (per `occupied`), breaking
+    /// ties by shortest queue then lowest node id. Deterministic — replica
+    /// placement feeds trace-signature tests, so it must not consult the
+    /// tie-breaking RNG. Returns `None` when no live node fits `demand`.
+    pub fn place_replica(&self, demand: &Resources, occupied: &[NodeId]) -> Option<NodeId> {
+        let mut candidates: Vec<_> = self
+            .inner
+            .load
+            .live_nodes()
+            .into_iter()
+            .filter(|l| l.capacity.fits(demand))
+            .map(|l| {
+                let colocated = occupied.iter().filter(|n| **n == l.node).count();
+                (colocated, l.queue_len, l.node)
+            })
+            .collect();
+        candidates.sort();
+        candidates.first().map(|&(_, _, node)| node)
+    }
+
+    /// Picks which replica to retire on scale-down: the one on the node
+    /// with the *most* replicas (drain hotspots first), ties broken by
+    /// highest node id — the exact reverse of [`Self::place_replica`], so
+    /// a scale-up immediately after a scale-down is a no-op in placement
+    /// terms. Returns an index into `occupied`, or `None` if it is empty.
+    pub fn retire_candidate(&self, occupied: &[NodeId]) -> Option<usize> {
+        let (idx, _) = occupied.iter().enumerate().max_by_key(|(_, node)| {
+            let colocated = occupied.iter().filter(|n| *n == *node).count();
+            (colocated, node.0)
+        })?;
+        Some(idx)
+    }
+
     fn locations(&self, id: ObjectId) -> RayResult<Vec<(NodeId, u64)>> {
         {
             let cache = self.inner.location_cache.lock();
@@ -388,6 +422,52 @@ mod tests {
             seen.insert(s.place(&task(vec![], Resources::cpus(1.0))).unwrap().unwrap());
         }
         assert!(seen.len() >= 3, "tie-breaking should spread load, saw {seen:?}");
+    }
+
+    #[test]
+    fn replica_placement_spreads_then_packs_deterministically() {
+        let r = rig();
+        for n in 0..3 {
+            heartbeat(&r.load, n, 0, 0.0);
+        }
+        let s = scheduler(&r, SchedulerPolicy::BottomUp);
+        let demand = Resources::cpus(1.0);
+        // Empty pool: lowest node id wins the tie.
+        assert_eq!(s.place_replica(&demand, &[]), Some(NodeId(0)));
+        // One replica per node placed so far → next goes to the empty node.
+        assert_eq!(s.place_replica(&demand, &[NodeId(0), NodeId(1)]), Some(NodeId(2)));
+        // Balanced pool: deterministic (no RNG), so repeated calls agree.
+        let occ = [NodeId(0), NodeId(1), NodeId(2)];
+        let first = s.place_replica(&demand, &occ);
+        assert_eq!(first, s.place_replica(&demand, &occ));
+        assert_eq!(first, Some(NodeId(0)));
+    }
+
+    #[test]
+    fn replica_placement_respects_feasibility_and_liveness() {
+        let r = rig();
+        heartbeat(&r.load, 0, 0, 0.0);
+        heartbeat(&r.load, 1, 0, 1.0);
+        let s = scheduler(&r, SchedulerPolicy::BottomUp);
+        assert_eq!(s.place_replica(&Resources::gpus(1.0), &[]), Some(NodeId(1)));
+        assert_eq!(s.place_replica(&Resources::gpus(2.0), &[]), None);
+        r.load.mark_dead(NodeId(0));
+        assert_eq!(s.place_replica(&Resources::cpus(1.0), &[]), Some(NodeId(1)));
+    }
+
+    #[test]
+    fn retire_candidate_drains_hotspots_first() {
+        let r = rig();
+        heartbeat(&r.load, 0, 0, 0.0);
+        let s = scheduler(&r, SchedulerPolicy::BottomUp);
+        assert_eq!(s.retire_candidate(&[]), None);
+        // Node 1 holds two replicas, node 2 one: retire from node 1.
+        let occ = [NodeId(1), NodeId(2), NodeId(1)];
+        let idx = s.retire_candidate(&occ).unwrap();
+        assert_eq!(occ[idx], NodeId(1));
+        // Balanced: highest node id drains first (reverse of placement).
+        let occ = [NodeId(0), NodeId(1), NodeId(2)];
+        assert_eq!(s.retire_candidate(&occ), Some(2));
     }
 
     #[test]

@@ -1,0 +1,41 @@
+//! Self-healing model serving on top of rustray actors.
+//!
+//! Ray's serving story (and the paper's Table 3 workload) is an actor that
+//! answers `predict` calls. One actor is a single point of failure and a
+//! throughput ceiling; this crate turns it into a **replica pool** behind a
+//! router:
+//!
+//! - **Failover** — requests route only to replicas believed healthy. A
+//!   replica that times out or dies is marked unhealthy (drained) and its
+//!   in-flight requests retry on survivors while the core runtime replays
+//!   the checkpoint + method log to reconstruct it. Health probes re-admit
+//!   it once it answers again.
+//! - **Autoscaling** — queue depth per healthy replica drives spawn/retire
+//!   decisions, placed through the global scheduler so new replicas land on
+//!   the least-loaded feasible node and retirement drains co-located
+//!   hotspots first.
+//! - **Hedged requests** — when an attempt is slower than the pool's
+//!   recent latency percentile, a second attempt races it on another
+//!   replica; first one wins and the loser is cancelled through the task
+//!   cancel token before its method is logged, so hedging can never
+//!   duplicate a stateful side effect.
+//! - **SLO enforcement** — every request carries a propagated deadline;
+//!   admission sheds load past a watermark ([`RayError::Overloaded`]) so
+//!   queues cannot grow without bound, and completions over the SLO are
+//!   counted and traced.
+//!
+//! Everything the pool does is observable: replica lifecycle and recovery
+//! arcs emit `replica_spawned` / `replica_unhealthy` / `replica_retired`
+//! trace events, hedges emit `request_hedged`, SLO misses `slo_violated` —
+//! all assertable with `TraceAssert`, and deterministic under a fixed seed
+//! when the time-driven features (hedging, autoscaling, probes) are off.
+//!
+//! [`RayError::Overloaded`]: ray_common::RayError::Overloaded
+
+pub mod config;
+pub mod pool;
+pub mod stats;
+
+pub use config::{AutoscaleConfig, HedgeConfig, PoolConfig};
+pub use pool::{ReplicaInfo, ReplicaPool};
+pub use stats::LatencyDigest;

@@ -1,0 +1,120 @@
+//! Lock-free latency percentiles for hedge triggers and SLO accounting.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of log2 buckets: covers 1µs .. ~2^63µs, far past any deadline.
+const BUCKETS: usize = 64;
+
+/// A log2-bucketed latency histogram with atomic counters.
+///
+/// The router records every successful request's latency and reads
+/// percentiles on the hedge path, so both sides must be cheap and
+/// lock-free: `record` is one `fetch_add`, `percentile` is a 64-element
+/// scan. Bucketing is power-of-two, so a percentile answer is exact only
+/// to its bucket's upper bound — plenty for "is this attempt slower than
+/// p90" decisions, where a 2x-granular threshold still separates
+/// stragglers (chaos delays are 100x the median) from normal jitter.
+#[derive(Debug)]
+pub struct LatencyDigest {
+    counts: [AtomicU64; BUCKETS],
+    total: AtomicU64,
+}
+
+impl Default for LatencyDigest {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LatencyDigest {
+    pub fn new() -> Self {
+        LatencyDigest {
+            counts: std::array::from_fn(|_| AtomicU64::new(0)),
+            total: AtomicU64::new(0),
+        }
+    }
+
+    /// Index of the bucket holding `micros`: floor(log2), 0 for 0..=1.
+    fn bucket(micros: u64) -> usize {
+        (63 - micros.max(1).leading_zeros()) as usize
+    }
+
+    /// The upper bound of bucket `i` in microseconds.
+    fn upper_bound(i: usize) -> u64 {
+        if i >= 63 { u64::MAX } else { (1u64 << (i + 1)) - 1 }
+    }
+
+    /// Records one observation.
+    pub fn record(&self, micros: u64) {
+        let i = Self::bucket(micros);
+        if let Some(c) = self.counts.get(i) {
+            c.fetch_add(1, Ordering::Relaxed);
+        }
+        self.total.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Observations recorded so far.
+    pub fn count(&self) -> u64 {
+        self.total.load(Ordering::Relaxed)
+    }
+
+    /// The latency (µs, bucket upper bound) at quantile `q` in `(0, 1]`,
+    /// or `None` with no samples yet. Reads are racy against concurrent
+    /// `record`s, which is fine: the answer is a heuristic trigger, not an
+    /// accounting figure.
+    pub fn percentile(&self, q: f64) -> Option<u64> {
+        let total = self.count();
+        if total == 0 || !(0.0..=1.0).contains(&q) || q <= 0.0 {
+            return None;
+        }
+        let target = ((total as f64) * q).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, c) in self.counts.iter().enumerate() {
+            seen = seen.saturating_add(c.load(Ordering::Relaxed));
+            if seen >= target {
+                return Some(Self::upper_bound(i));
+            }
+        }
+        Some(u64::MAX)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_digest_has_no_percentiles() {
+        let d = LatencyDigest::new();
+        assert_eq!(d.percentile(0.5), None);
+        assert_eq!(d.count(), 0);
+    }
+
+    #[test]
+    fn percentiles_track_bucket_upper_bounds() {
+        let d = LatencyDigest::new();
+        // 90 fast samples (~100µs → bucket 6, upper bound 127) and 10 slow
+        // (~10_000µs → bucket 13, upper bound 16383).
+        for _ in 0..90 {
+            d.record(100);
+        }
+        for _ in 0..10 {
+            d.record(10_000);
+        }
+        assert_eq!(d.count(), 100);
+        assert_eq!(d.percentile(0.5), Some(127));
+        assert_eq!(d.percentile(0.9), Some(127));
+        assert_eq!(d.percentile(0.95), Some(16_383));
+        assert_eq!(d.percentile(1.0), Some(16_383));
+    }
+
+    #[test]
+    fn extreme_values_do_not_panic() {
+        let d = LatencyDigest::new();
+        d.record(0);
+        d.record(u64::MAX);
+        assert_eq!(d.count(), 2);
+        assert_eq!(d.percentile(1.0), Some(u64::MAX));
+        assert_eq!(d.percentile(0.5), Some(1));
+    }
+}

@@ -40,6 +40,14 @@ echo "== cancel chaos soak =="
 # gate over a mixed kill + straggler + cancel schedule.
 cargo test -q --test cancel_chaos
 
+echo "== serve chaos soak =="
+# The serving layer under fire: replica kill + GCS-shard kill under
+# closed-loop load (zero failed requests with budget left, bounded p99
+# blip, recovery arc pinned by trace asserts), a same-seed recovery
+# trace-signature determinism gate, hedged-request dedup (loser
+# cancelled, no duplicate side effects), and SLO/scale-down accounting.
+cargo test -q --test serve_chaos
+
 echo "== trace smoke =="
 # A traced bench run must produce a Chrome trace with at least one task
 # span on every node; trace-check also validates the JSON end to end.

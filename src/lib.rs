@@ -12,5 +12,6 @@ pub use ray_gcs as gcs;
 pub use ray_object_store as object_store;
 pub use ray_rl as rl;
 pub use ray_scheduler as scheduler;
+pub use ray_serve as serve;
 pub use ray_transport as transport;
 pub use rustray as ray;

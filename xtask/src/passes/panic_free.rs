@@ -28,6 +28,7 @@ pub const PANIC_FREE_CRATES: &[&str] = &[
     "crates/gcs/src",
     "crates/scheduler/src",
     "crates/object-store/src",
+    "crates/serve/src",
 ];
 
 pub struct PanicFree;

@@ -22,6 +22,7 @@ pub const SLEEP_POLL_SCOPE: &[&str] = &[
     "crates/object-store/src",
     "crates/transport/src",
     "crates/common/src",
+    "crates/serve/src",
     "src",
 ];
 
